@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark corresponds to one exhibit of the paper (see DESIGN.md §4)
+and prints the rows/series that exhibit reports, in addition to the timing
+collected by pytest-benchmark. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, generate_scenario
+
+#: Scenario size used by the benchmark harness (the paper's demo data sets
+#: are of this order of magnitude).
+BENCH_PROPERTIES = 600
+BENCH_POSTCODES = 120
+BENCH_SEED = 17
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """The seeded real-estate scenario shared by all benchmarks."""
+    return generate_scenario(ScenarioConfig(
+        properties=BENCH_PROPERTIES, postcodes=BENCH_POSTCODES, seed=BENCH_SEED))
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a fixed-width table (the benches reproduce paper exhibits as text)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n=== {title} ===")
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))

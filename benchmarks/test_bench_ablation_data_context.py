@@ -1,0 +1,75 @@
+"""Experiment E7 (ablation) — §2.3: the effect of the data context.
+
+Sweeps the coverage of the Address reference list (0% … 100% of postcodes)
+and reports result quality after CFD learning and repair. Expected shape:
+consistency/accuracy improve monotonically (with diminishing returns) as
+more reference data is provided — the paper's "the more information is
+provided by the user, the better the outcome".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import ScenarioConfig, Wrangler, generate_scenario
+
+COVERAGES = (0.0, 0.25, 0.5, 1.0)
+
+
+def run_with_reference_coverage(coverage: float):
+    scenario = generate_scenario(ScenarioConfig(
+        properties=400, postcodes=80, seed=31, address_coverage=coverage))
+    wrangler = Wrangler()
+    wrangler.add_sources(scenario.sources())
+    wrangler.set_target_schema(scenario.target)
+    wrangler.run("bootstrap")
+    if len(scenario.address_reference) > 0:
+        wrangler.add_reference_data(scenario.address_reference)
+    outcome = wrangler.run("data_context", ground_truth=scenario.ground_truth)
+    repairs = wrangler.kb.count("repair")
+    cfds = wrangler.kb.count("cfd")
+    return {
+        "coverage": coverage,
+        "reference_rows": len(scenario.address_reference),
+        "cfds": cfds,
+        "repairs": repairs,
+        "quality": outcome.quality,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-data-context")
+def test_reference_data_coverage_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_with_reference_coverage(c) for c in COVERAGES], rounds=1, iterations=1)
+
+    rows = []
+    for entry in results:
+        quality = entry["quality"]
+        rows.append([
+            f"{entry['coverage']:.0%}",
+            entry["reference_rows"],
+            entry["cfds"],
+            entry["repairs"],
+            f"{quality.accuracy:.3f}",
+            f"{quality.completeness:.3f}",
+            f"{quality.overall():.4f}",
+        ])
+    print_table("Data-context ablation — Address reference coverage sweep",
+                ["coverage", "reference rows", "learned CFDs", "repairs",
+                 "accuracy", "completeness", "overall"], rows)
+
+    # No data context → no CFDs, no repairs.
+    assert results[0]["cfds"] == 0
+    assert results[0]["repairs"] == 0
+    # Full coverage learns CFDs and performs repairs.
+    assert results[-1]["cfds"] > 0
+    assert results[-1]["repairs"] > 0
+    # More reference data never hurts the overall score (small slack), and
+    # full coverage beats no coverage outright.
+    overall = [entry["quality"].overall() for entry in results]
+    for before, after in zip(overall, overall[1:]):
+        assert after >= before - 0.02
+    assert overall[-1] > overall[0]
+    # Repairs grow with coverage.
+    assert results[-1]["repairs"] >= results[1]["repairs"]

@@ -1,0 +1,74 @@
+"""Experiment E2 — Figure 2: the demonstration scenario.
+
+Regenerates the running example of Figure 2: the source tables (Rightmove,
+Onthemarket, Deprivation), the target schema, the data context (Address
+reference list) and the user context with its derived AHP weights.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import ACCURACY, COMPLETENESS, CONSISTENCY, ScenarioConfig, UserContext, generate_scenario
+
+
+def build_figure2(scenario):
+    """Assemble every panel of Figure 2 from the generated scenario."""
+    context = UserContext()
+    context.prefer(COMPLETENESS("crimerank"), ACCURACY("type"),
+                   "very strongly more important than")
+    context.prefer(CONSISTENCY(), COMPLETENESS("bedrooms"),
+                   "strongly more important than")
+    context.prefer(COMPLETENESS("street"), COMPLETENESS("postcode"),
+                   "moderately more important than")
+    return {
+        "sources": [scenario.rightmove, scenario.onthemarket, scenario.deprivation],
+        "target": scenario.target,
+        "data_context": scenario.address_reference,
+        "user_context": context,
+    }
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_demonstration_scenario(benchmark, bench_scenario):
+    figure = benchmark.pedantic(build_figure2, args=(bench_scenario,), rounds=1, iterations=1)
+
+    # (a) Sources.
+    print_table("Figure 2(a) — Sources", ["relation", "attributes", "rows"], [
+        [table.name, ", ".join(table.schema.attribute_names), len(table)]
+        for table in figure["sources"]
+    ])
+    # (b) Target schema.
+    print_table("Figure 2(b) — Target schema", ["relation", "attributes"], [
+        [figure["target"].name, ", ".join(figure["target"].attribute_names)]])
+    # (c) Data context.
+    reference = figure["data_context"]
+    print_table("Figure 2(c) — Data context", ["relation", "attributes", "rows"], [
+        [reference.name, ", ".join(reference.schema.attribute_names), len(reference)]])
+    # (d) User context and the derived AHP weights.
+    context = figure["user_context"]
+    print_table("Figure 2(d) — User context", ["statement"],
+                [[line] for line in context.describe()])
+    print_table("Derived criterion weights (AHP)", ["criterion", "weight"], [
+        [criterion.key, f"{weight:.4f}"] for criterion, weight in sorted(
+            context.weights().items(), key=lambda item: -item[1])])
+
+    # Shape checks mirroring the paper's example.
+    assert figure["target"].attribute_names == (
+        "type", "description", "street", "postcode", "bedrooms", "price", "crimerank")
+    assert [t.name for t in figure["sources"]] == ["rightmove", "onthemarket", "deprivation"]
+    assert reference.schema.attribute_names == ("street", "city", "postcode")
+    weights = {criterion.key: weight for criterion, weight in context.weights().items()}
+    assert weights["completeness.crimerank"] > weights["accuracy.type"]
+    assert weights["consistency"] > weights["completeness.bedrooms"]
+    assert weights["completeness.street"] > weights["completeness.postcode"]
+    assert context.consistency_ratio() < 0.2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_scenario_generation_cost(benchmark):
+    """Time the generator itself (the substrate substituted for DIADEM + gov data)."""
+    scenario = benchmark(generate_scenario,
+                         ScenarioConfig(properties=400, postcodes=80, seed=23))
+    assert len(scenario.ground_truth) == 400

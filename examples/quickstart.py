@@ -1,0 +1,68 @@
+"""Quickstart: wrangle two small product feeds into one target schema.
+
+This is the smallest end-to-end use of the library: register a couple of
+source tables and a target schema, let the architecture bootstrap
+automatically, then inspect the result and the orchestration trace.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Attribute, DataType, Schema, Table, Wrangler
+
+
+def build_sources() -> list[Table]:
+    """Two overlapping product feeds with different attribute conventions."""
+    shop_a = Table(
+        Schema("shop_a", [
+            Attribute("title", DataType.STRING),
+            Attribute("price", DataType.FLOAT),
+            Attribute("category", DataType.STRING),
+        ]),
+        [
+            ("USB-C cable 1m", 7.99, "cables"),
+            ("Wireless mouse", 19.50, "peripherals"),
+            ("Mechanical keyboard", 89.00, "peripherals"),
+        ],
+    )
+    shop_b = Table(
+        Schema("shop_b", [
+            Attribute("product_title", DataType.STRING),
+            Attribute("asking_price", DataType.FLOAT),
+            Attribute("product_category", DataType.STRING),
+        ]),
+        [
+            ("USB-C cable 1m", 6.49, "cables"),
+            ("27 inch monitor", 189.99, "displays"),
+        ],
+    )
+    return [shop_a, shop_b]
+
+
+def main() -> None:
+    target = Schema("product", [
+        Attribute("title", DataType.STRING),
+        Attribute("price", DataType.FLOAT),
+        Attribute("category", DataType.STRING),
+    ])
+
+    wrangler = Wrangler()
+    wrangler.add_sources(build_sources())
+    wrangler.set_target_schema(target)
+
+    outcome = wrangler.run("bootstrap")
+
+    print("Selected mapping:", outcome.selected_mapping.describe())
+    print()
+    print("Wrangled result:")
+    print(outcome.table.pretty(limit=10))
+    print()
+    print("Orchestration trace:")
+    print(wrangler.trace.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Baselines the architecture is compared against."""
+
+from repro.baselines.manual_etl import (
+    ManualEtlConfig,
+    ManualEtlPipeline,
+    default_real_estate_etl,
+)
+
+__all__ = ["ManualEtlConfig", "ManualEtlPipeline", "default_real_estate_etl"]

@@ -1,0 +1,189 @@
+"""A static, manually configured ETL pipeline (the comparison baseline).
+
+The paper positions VADA against "typical Extract-Transform-Load (ETL)
+systems [12]" in which "skilled application developers are required to
+configure individual components and to specify the dependencies between
+them". This baseline is that alternative: every correspondence, join key
+and transformation is spelled out by hand, nothing reacts to data context,
+feedback or user priorities, and the pipeline runs as a fixed sequence.
+
+The cost-effectiveness benchmark (DESIGN.md experiment E5) compares the
+number of manual configuration actions and the resulting quality of this
+baseline against the pay-as-you-go wrangler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.relational.operators import left_outer_join, rename_attributes, union_all
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import coerce_value, is_null
+
+__all__ = ["ManualEtlConfig", "ManualEtlPipeline", "default_real_estate_etl"]
+
+
+@dataclass(frozen=True)
+class ManualEtlConfig:
+    """The hand-written configuration of the static pipeline.
+
+    Every entry of every mapping dictionary counts as one manual
+    configuration action, as does every join specification — this is the
+    work a developer must do up front, before seeing any output.
+    """
+
+    #: source relation → {source attribute → target attribute}.
+    attribute_mappings: Mapping[str, Mapping[str, str]]
+    #: Relations to union (after renaming) into the property feed.
+    union_sources: tuple[str, ...]
+    #: (enrichment relation, feed join attribute, enrichment join attribute).
+    enrichment_joins: tuple[tuple[str, str, str], ...] = ()
+    #: Target attributes, in output order.
+    target_attributes: tuple[str, ...] = ()
+
+    def manual_actions(self) -> int:
+        """The number of configuration decisions the developer had to make."""
+        actions = sum(len(mapping) for mapping in self.attribute_mappings.values())
+        actions += len(self.union_sources)
+        actions += 2 * len(self.enrichment_joins)  # the join key on each side
+        actions += len(self.target_attributes)
+        return actions
+
+
+class ManualEtlPipeline:
+    """Runs the fixed extract-transform-load sequence."""
+
+    def __init__(self, config: ManualEtlConfig):
+        self._config = config
+
+    @property
+    def config(self) -> ManualEtlConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    def manual_actions(self) -> int:
+        """Manual configuration actions required by this pipeline."""
+        return self._config.manual_actions()
+
+    def run(self, sources: Mapping[str, Table], target_schema: Schema, *,
+            result_name: str | None = None) -> Table:
+        """Execute the pipeline over ``sources`` and produce the target table."""
+        config = self._config
+        target_attributes = tuple(config.target_attributes) or target_schema.attribute_names
+
+        # Transform: rename each union source onto the target vocabulary.
+        renamed: list[Table] = []
+        for source_name in config.union_sources:
+            if source_name not in sources:
+                continue
+            source = sources[source_name]
+            mapping = dict(config.attribute_mappings.get(source_name, {}))
+            usable = {old: new for old, new in mapping.items() if old in source.schema}
+            aligned = rename_attributes(source, usable)
+            renamed.append(_project_onto(aligned, target_schema, target_attributes))
+        if not renamed:
+            return Table.empty(target_schema.rename(result_name or f"{target_schema.name}_etl"))
+
+        # Load stage 1: union the property feeds.
+        feed = renamed[0]
+        for other in renamed[1:]:
+            feed = union_all(feed, other)
+
+        # Load stage 2: enrich by joining the open-government relations.
+        for enrichment_name, feed_key, enrichment_key in config.enrichment_joins:
+            if enrichment_name not in sources:
+                continue
+            enrichment = sources[enrichment_name]
+            mapping = dict(config.attribute_mappings.get(enrichment_name, {}))
+            usable = {old: new for old, new in mapping.items() if old in enrichment.schema}
+            enrichment = rename_attributes(enrichment, usable)
+            mapped_key = usable.get(enrichment_key, enrichment_key)
+            if feed_key not in feed.schema or mapped_key not in enrichment.schema:
+                continue
+            joined = left_outer_join(feed, enrichment, [(feed_key, mapped_key)])
+            feed = _merge_joined(joined, feed, target_schema, target_attributes)
+
+        final = _project_onto(feed, target_schema, target_attributes)
+        return final.rename(result_name or f"{target_schema.name}_etl")
+
+
+def _project_onto(table: Table, target_schema: Schema,
+                  target_attributes: Sequence[str]) -> Table:
+    """Project ``table`` onto the target attributes, padding missing ones with NULL."""
+    rows = []
+    for row in table.rows():
+        values = []
+        for attribute in target_attributes:
+            value = row.get(attribute)
+            if is_null(value):
+                values.append(None)
+            else:
+                try:
+                    values.append(coerce_value(value, target_schema.dtype(attribute)))
+                except Exception:
+                    values.append(None)
+        rows.append(tuple(values))
+    schema = target_schema.project(list(target_attributes), target_schema.name)
+    return Table(schema, rows, coerce=False)
+
+
+def _merge_joined(joined: Table, feed: Table, target_schema: Schema,
+                  target_attributes: Sequence[str]) -> Table:
+    """After a join, prefer newly joined values for attributes the feed lacked."""
+    rows = []
+    for row in joined.rows():
+        values = []
+        for attribute in target_attributes:
+            value = row.get(attribute)
+            if is_null(value):
+                # The join may have carried the attribute under a prefixed
+                # name when both sides had it; prefer any non-null variant.
+                for name in row.schema.attribute_names:
+                    if name.endswith(f".{attribute}") and not is_null(row[name]):
+                        value = row[name]
+                        break
+            values.append(value)
+        rows.append(tuple(values))
+    schema = target_schema.project(list(target_attributes), target_schema.name)
+    return Table(schema, rows)
+
+
+def default_real_estate_etl() -> ManualEtlPipeline:
+    """The hand-written ETL configuration for the real-estate scenario.
+
+    This is what a developer would write after studying the three source
+    schemas: explicit attribute-by-attribute mappings for Rightmove,
+    Onthemarket and Deprivation, the union of the two property feeds, and
+    the postcode join against Deprivation.
+    """
+    config = ManualEtlConfig(
+        attribute_mappings={
+            "rightmove": {
+                "price": "price",
+                "street": "street",
+                "postcode": "postcode",
+                "bedrooms": "bedrooms",
+                "type": "type",
+                "description": "description",
+            },
+            "onthemarket": {
+                "asking_price": "price",
+                "address_street": "street",
+                "post_code": "postcode",
+                "beds": "bedrooms",
+                "property_type": "type",
+                "summary": "description",
+            },
+            "deprivation": {
+                "postcode": "postcode",
+                "crime": "crimerank",
+            },
+        },
+        union_sources=("rightmove", "onthemarket"),
+        enrichment_joins=(("deprivation", "postcode", "postcode"),),
+        target_attributes=("type", "description", "street", "postcode",
+                           "bedrooms", "price", "crimerank"),
+    )
+    return ManualEtlPipeline(config)

@@ -1,0 +1,33 @@
+"""User context (pairwise preferences → AHP weights) and data context."""
+
+from repro.context.ahp import (
+    RANDOM_INDEX,
+    VERBAL_SCALE,
+    PairwiseMatrix,
+    consistency_ratio,
+    derive_weights,
+    verbal_strength,
+)
+from repro.context.criteria import ACCURACY, COMPLETENESS, CONSISTENCY, RELEVANCE, Criterion
+from repro.context.data_context import DataContext, DataContextBinding
+from repro.context.transducers import CriterionWeightTransducer
+from repro.context.user_context import Preference, UserContext
+
+__all__ = [
+    "Criterion",
+    "COMPLETENESS",
+    "ACCURACY",
+    "CONSISTENCY",
+    "RELEVANCE",
+    "Preference",
+    "UserContext",
+    "DataContext",
+    "DataContextBinding",
+    "CriterionWeightTransducer",
+    "PairwiseMatrix",
+    "derive_weights",
+    "consistency_ratio",
+    "verbal_strength",
+    "VERBAL_SCALE",
+    "RANDOM_INDEX",
+]

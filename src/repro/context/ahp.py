@@ -1,0 +1,173 @@
+"""Analytic Hierarchy Process (AHP) weight derivation.
+
+The paper's user context is "a pairwise comparison approach, which has been
+shown to be effective in a range of multi-criteria decision analysis
+methodologies"; the comparisons "are used to derive weights that inform the
+selection of mappings based on multi-dimensional optimization" (§3 step 4).
+
+This module implements the standard AHP machinery: a reciprocal pairwise
+comparison matrix on Saaty's 1–9 scale, principal-eigenvector weight
+extraction, and the consistency ratio that flags contradictory preference
+sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "VERBAL_SCALE",
+    "verbal_strength",
+    "PairwiseMatrix",
+    "derive_weights",
+    "consistency_ratio",
+    "RANDOM_INDEX",
+]
+
+#: Saaty's verbal scale: how much more important the first item is than the second.
+VERBAL_SCALE: dict[str, float] = {
+    "equally important": 1.0,
+    "slightly more important": 2.0,
+    "moderately more important": 3.0,
+    "moderately to strongly more important": 4.0,
+    "strongly more important": 5.0,
+    "strongly to very strongly more important": 6.0,
+    "very strongly more important": 7.0,
+    "very to extremely more important": 8.0,
+    "extremely more important": 9.0,
+}
+
+#: The paper's Figure 2(d) uses the phrase "very strongly" with "strongly"
+#: and "moderately"; this alias table accepts those shorter spellings.
+_SCALE_ALIASES: dict[str, float] = {
+    "equal": 1.0,
+    "equally": 1.0,
+    "slightly": 2.0,
+    "moderately": 3.0,
+    "strongly": 5.0,
+    "very strongly": 7.0,
+    "extremely": 9.0,
+}
+
+#: Saaty's random consistency index by matrix order (0- and 1-indexed orders
+#: are trivially consistent).
+RANDOM_INDEX: dict[int, float] = {
+    1: 0.0, 2: 0.0, 3: 0.58, 4: 0.90, 5: 1.12, 6: 1.24, 7: 1.32, 8: 1.41,
+    9: 1.45, 10: 1.49, 11: 1.51, 12: 1.48, 13: 1.56, 14: 1.57, 15: 1.59,
+}
+
+
+def verbal_strength(phrase: str) -> float:
+    """Convert a verbal comparison phrase to a numeric strength (1–9).
+
+    Accepts both the full Saaty phrases and the short forms used in the
+    paper ("very strongly more important than" → 7).
+    """
+    text = phrase.strip().lower()
+    text = text.removesuffix("than").strip()
+    text = text.removesuffix("more important").strip()
+    if not text:
+        return 1.0
+    if text in _SCALE_ALIASES:
+        return _SCALE_ALIASES[text]
+    for full, value in VERBAL_SCALE.items():
+        if full.startswith(text) or text in full:
+            return value
+    raise ValueError(f"unrecognised comparison phrase {phrase!r}")
+
+
+@dataclass
+class PairwiseMatrix:
+    """A reciprocal pairwise comparison matrix over named items."""
+
+    items: tuple[str, ...]
+    values: np.ndarray
+
+    @classmethod
+    def identity(cls, items: Sequence[str]) -> "PairwiseMatrix":
+        """A matrix expressing no preference (all comparisons equal)."""
+        size = len(items)
+        return cls(tuple(items), np.ones((size, size), dtype=float))
+
+    @classmethod
+    def from_comparisons(cls, items: Sequence[str],
+                         comparisons: Mapping[tuple[str, str], float]) -> "PairwiseMatrix":
+        """Build a matrix from ``{(more_important, less_important): strength}``.
+
+        Unspecified pairs default to 1 (equal importance); reciprocals are
+        filled in automatically. A strength may also be below 1 to express
+        the inverse direction.
+        """
+        matrix = cls.identity(items)
+        index = {item: i for i, item in enumerate(matrix.items)}
+        for (first, second), strength in comparisons.items():
+            if first not in index:
+                raise KeyError(f"unknown item {first!r}")
+            if second not in index:
+                raise KeyError(f"unknown item {second!r}")
+            if strength <= 0:
+                raise ValueError(f"comparison strength must be positive, got {strength}")
+            i, j = index[first], index[second]
+            matrix.values[i, j] = float(strength)
+            matrix.values[j, i] = 1.0 / float(strength)
+        return matrix
+
+    @property
+    def order(self) -> int:
+        """Number of items being compared."""
+        return len(self.items)
+
+    def weight_vector(self) -> dict[str, float]:
+        """Normalised principal-eigenvector weights (sum to 1)."""
+        weights = derive_weights(self.values)
+        return {item: float(weight) for item, weight in zip(self.items, weights)}
+
+    def consistency_ratio(self) -> float:
+        """Saaty's consistency ratio; values above ~0.1 indicate contradictions."""
+        return consistency_ratio(self.values)
+
+
+def derive_weights(matrix: np.ndarray) -> np.ndarray:
+    """Principal right-eigenvector of a positive reciprocal matrix, normalised.
+
+    Falls back to the geometric-mean approximation when the eigenvector has
+    numerically tiny imaginary components (it always does for valid input,
+    so this is purely defensive).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"pairwise matrix must be square, got shape {matrix.shape}")
+    if matrix.shape[0] == 0:
+        return np.array([])
+    if np.any(matrix <= 0):
+        raise ValueError("pairwise matrix entries must be strictly positive")
+    eigenvalues, eigenvectors = np.linalg.eig(matrix)
+    principal = int(np.argmax(eigenvalues.real))
+    vector = eigenvectors[:, principal].real
+    if np.all(vector <= 0):
+        vector = -vector
+    if np.any(vector < 0):
+        # Defensive: geometric mean approximation.
+        vector = np.exp(np.log(matrix).mean(axis=1))
+    total = vector.sum()
+    if total == 0:
+        raise ValueError("degenerate pairwise matrix (zero weight sum)")
+    return vector / total
+
+
+def consistency_ratio(matrix: np.ndarray) -> float:
+    """Saaty's CR = CI / RI where CI = (λ_max − n) / (n − 1)."""
+    matrix = np.asarray(matrix, dtype=float)
+    order = matrix.shape[0]
+    if order <= 2:
+        return 0.0
+    eigenvalues = np.linalg.eigvals(matrix)
+    lambda_max = float(np.max(eigenvalues.real))
+    consistency_index = (lambda_max - order) / (order - 1)
+    random_index = RANDOM_INDEX.get(order, 1.59)
+    if random_index == 0:
+        return 0.0
+    return max(0.0, consistency_index / random_index)

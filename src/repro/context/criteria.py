@@ -1,0 +1,74 @@
+"""Quality criteria over which user preferences are expressed.
+
+The user context in the paper (Figure 2(d)) states pairwise comparisons
+between *criterion/attribute* pairs such as "completeness of crimerank" or
+"consistency of property". A :class:`Criterion` names one such pair; a
+criterion with no attribute applies to the whole result relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.facts import Predicates
+
+__all__ = ["Criterion", "COMPLETENESS", "ACCURACY", "CONSISTENCY", "RELEVANCE"]
+
+
+@dataclass(frozen=True, order=True)
+class Criterion:
+    """A quality dimension, optionally scoped to one target attribute.
+
+    Examples: ``Criterion("completeness", "crimerank")``,
+    ``Criterion("consistency")`` (whole relation).
+    """
+
+    dimension: str
+    attribute: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dimension not in Predicates.CRITERIA:
+            raise ValueError(
+                f"unknown quality dimension {self.dimension!r}; "
+                f"expected one of {Predicates.CRITERIA}")
+
+    @property
+    def key(self) -> str:
+        """Stable string key used in KB facts (``dimension[.attribute]``)."""
+        if self.attribute:
+            return f"{self.dimension}.{self.attribute}"
+        return self.dimension
+
+    @classmethod
+    def from_key(cls, key: str) -> "Criterion":
+        """Inverse of :attr:`key`."""
+        if "." in key:
+            dimension, attribute = key.split(".", 1)
+            return cls(dimension, attribute)
+        return cls(key)
+
+    def __str__(self) -> str:
+        if self.attribute:
+            return f"{self.dimension} of {self.attribute}"
+        return self.dimension
+
+
+#: Convenience constructors for the four supported dimensions.
+def COMPLETENESS(attribute: str = "") -> Criterion:
+    """Completeness (fraction of non-null values) of an attribute or relation."""
+    return Criterion("completeness", attribute)
+
+
+def ACCURACY(attribute: str = "") -> Criterion:
+    """Accuracy (agreement with reference/master data)."""
+    return Criterion("accuracy", attribute)
+
+
+def CONSISTENCY(attribute: str = "") -> Criterion:
+    """Consistency (satisfaction of learned CFDs)."""
+    return Criterion("consistency", attribute)
+
+
+def RELEVANCE(attribute: str = "") -> Criterion:
+    """Relevance (coverage of the entities the user cares about)."""
+    return Criterion("relevance", attribute)

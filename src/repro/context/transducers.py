@@ -1,0 +1,44 @@
+"""Context-related transducers.
+
+The user-context weighting step is itself a component of the architecture:
+when preference facts appear in the knowledge base, the weight-derivation
+transducer becomes runnable and asserts ``criterion_weight`` facts that the
+selection transducers consume.
+"""
+
+from __future__ import annotations
+
+from repro.context.user_context import UserContext
+from repro.core.facts import Predicates, criterion_weight_fact
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+
+__all__ = ["CriterionWeightTransducer"]
+
+
+class CriterionWeightTransducer(Transducer):
+    """Derives AHP criterion weights from pairwise preference facts.
+
+    Input dependency (Table 1 style): user preferences must be present.
+    Output: ``criterion_weight(criterion, weight)`` facts.
+    """
+
+    name = "criterion_weighting"
+    activity = Activity.SELECTION
+    priority = 10
+    input_dependencies = ("preference(A, B, S)",)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        context = UserContext.from_kb(kb)
+        weights = context.weights()
+        kb.retract_where(Predicates.CRITERION_WEIGHT)
+        added = 0
+        for criterion, weight in weights.items():
+            added += int(kb.assert_tuple(criterion_weight_fact(criterion.key, weight)))
+        consistency = context.consistency_ratio()
+        return TransducerResult(
+            facts_added=added,
+            notes=f"derived {len(weights)} criterion weights (CR={consistency:.3f})",
+            details={"weights": {c.key: w for c, w in weights.items()},
+                     "consistency_ratio": consistency},
+        )

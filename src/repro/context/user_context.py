@@ -1,0 +1,182 @@
+"""User context: pairwise preferences over quality criteria.
+
+Figure 2(d) of the paper shows the user context as statements such as::
+
+    completeness crimerank   very strongly more important than   accuracy property.type
+    consistency property     strongly more important than        completeness property.bedrooms
+    completeness property.street  moderately more important than completeness property.postcode
+
+A :class:`UserContext` collects such statements, derives criterion weights
+via AHP (:mod:`repro.context.ahp`) and asserts both the raw preferences and
+the derived weights into the knowledge base, where the mapping/source
+selection transducers consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.context.ahp import PairwiseMatrix, verbal_strength
+from repro.context.criteria import Criterion
+from repro.core.facts import Predicates, criterion_weight_fact, preference_fact
+from repro.core.knowledge_base import KnowledgeBase
+
+__all__ = ["Preference", "UserContext"]
+
+
+@dataclass(frozen=True)
+class Preference:
+    """One pairwise comparison: ``more_important`` beats ``less_important``."""
+
+    more_important: Criterion
+    less_important: Criterion
+    strength: float
+
+    def __post_init__(self) -> None:
+        if self.strength <= 0:
+            raise ValueError(f"preference strength must be positive, got {self.strength}")
+
+    @classmethod
+    def from_phrase(cls, more_important: Criterion, phrase: str,
+                    less_important: Criterion) -> "Preference":
+        """Build a preference from a verbal phrase (paper's wording)."""
+        return cls(more_important, less_important, verbal_strength(phrase))
+
+    def __str__(self) -> str:
+        return (f"{self.more_important} (x{self.strength:g}) more important than "
+                f"{self.less_important}")
+
+
+class UserContext:
+    """The set of user preferences for one wrangling task."""
+
+    def __init__(self, preferences: Iterable[Preference] = (),
+                 default_criteria: Iterable[Criterion] = ()):
+        self._preferences: list[Preference] = list(preferences)
+        self._default_criteria: list[Criterion] = list(default_criteria)
+
+    # -- construction ----------------------------------------------------------
+
+    def prefer(self, more_important: Criterion, less_important: Criterion,
+               strength: float | str) -> "UserContext":
+        """Add a pairwise preference (numeric strength or verbal phrase)."""
+        if isinstance(strength, str):
+            numeric = verbal_strength(strength)
+        else:
+            numeric = float(strength)
+        self._preferences.append(Preference(more_important, less_important, numeric))
+        return self
+
+    def add(self, preference: Preference) -> "UserContext":
+        """Add a ready-built preference."""
+        self._preferences.append(preference)
+        return self
+
+    @property
+    def preferences(self) -> tuple[Preference, ...]:
+        """All pairwise statements."""
+        return tuple(self._preferences)
+
+    def __len__(self) -> int:
+        return len(self._preferences)
+
+    def __bool__(self) -> bool:
+        return bool(self._preferences) or bool(self._default_criteria)
+
+    # -- weight derivation -------------------------------------------------------
+
+    def criteria(self) -> list[Criterion]:
+        """All criteria mentioned by the preferences (plus declared defaults)."""
+        seen: dict[str, Criterion] = {}
+        for criterion in self._default_criteria:
+            seen.setdefault(criterion.key, criterion)
+        for preference in self._preferences:
+            seen.setdefault(preference.more_important.key, preference.more_important)
+            seen.setdefault(preference.less_important.key, preference.less_important)
+        return [seen[key] for key in sorted(seen)]
+
+    def pairwise_matrix(self) -> PairwiseMatrix:
+        """The AHP comparison matrix implied by the preferences."""
+        criteria = self.criteria()
+        comparisons: dict[tuple[str, str], float] = {}
+        for preference in self._preferences:
+            comparisons[(preference.more_important.key, preference.less_important.key)] = (
+                preference.strength)
+        return PairwiseMatrix.from_comparisons([c.key for c in criteria], comparisons)
+
+    def weights(self) -> dict[Criterion, float]:
+        """AHP weights per criterion (empty context → empty dict)."""
+        criteria = self.criteria()
+        if not criteria:
+            return {}
+        vector = self.pairwise_matrix().weight_vector()
+        return {criterion: vector[criterion.key] for criterion in criteria}
+
+    def dimension_weights(self) -> dict[str, float]:
+        """Weights aggregated to the four quality dimensions.
+
+        Attribute-scoped criteria contribute their weight to their dimension;
+        the result is normalised to sum to 1 and is what mapping/source
+        selection uses when scoring whole candidate mappings.
+        """
+        aggregated: dict[str, float] = {}
+        for criterion, weight in self.weights().items():
+            aggregated[criterion.dimension] = aggregated.get(criterion.dimension, 0.0) + weight
+        total = sum(aggregated.values())
+        if total <= 0:
+            return {}
+        return {dimension: weight / total for dimension, weight in aggregated.items()}
+
+    def attribute_weights(self, dimension: str) -> dict[str, float]:
+        """Relative weights of attribute-scoped criteria within one dimension."""
+        scoped = {criterion.attribute: weight for criterion, weight in self.weights().items()
+                  if criterion.dimension == dimension and criterion.attribute}
+        total = sum(scoped.values())
+        if total <= 0:
+            return {}
+        return {attribute: weight / total for attribute, weight in scoped.items()}
+
+    def consistency_ratio(self) -> float:
+        """AHP consistency ratio of the preference set."""
+        if not self._preferences:
+            return 0.0
+        return self.pairwise_matrix().consistency_ratio()
+
+    # -- knowledge base interaction ---------------------------------------------------
+
+    def assert_into(self, kb: KnowledgeBase) -> int:
+        """Write preferences and derived weights into the knowledge base.
+
+        Existing preference/weight facts are replaced (changing the user
+        context is exactly what re-triggers selection transducers).
+        """
+        kb.retract_where(Predicates.PREFERENCE)
+        kb.retract_where(Predicates.CRITERION_WEIGHT)
+        added = 0
+        for preference in self._preferences:
+            added += int(kb.assert_tuple(preference_fact(
+                preference.more_important.key, preference.less_important.key,
+                preference.strength)))
+        for criterion, weight in self.weights().items():
+            added += int(kb.assert_tuple(criterion_weight_fact(criterion.key, weight)))
+        kb.assert_fact(Predicates.USER_CONTEXT_SET)
+        return added
+
+    @classmethod
+    def from_kb(cls, kb: KnowledgeBase) -> "UserContext":
+        """Reconstruct a user context from the KB's preference facts."""
+        context = cls()
+        for first, second, strength in kb.facts(Predicates.PREFERENCE):
+            context.add(Preference(Criterion.from_key(first), Criterion.from_key(second),
+                                   float(strength)))
+        return context
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def describe(self) -> list[str]:
+        """Human-readable statements (mirrors Figure 2(d))."""
+        return [str(preference) for preference in self._preferences]
+
+    def __repr__(self) -> str:
+        return f"UserContext(preferences={len(self._preferences)})"

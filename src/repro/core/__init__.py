@@ -1,0 +1,53 @@
+"""Core of the VADA architecture: knowledge base, transducers, orchestration.
+
+The components here are domain-agnostic; the wrangling functionality
+(matching, mapping, quality, …) plugs in as :class:`Transducer` subclasses
+registered with a :class:`TransducerRegistry` and driven by an
+:class:`Orchestrator` under a :class:`NetworkTransducer` policy.
+"""
+
+from repro.core.errors import (
+    CoreError,
+    DependencyError,
+    KnowledgeBaseError,
+    OrchestrationError,
+    RegistryError,
+    TransducerError,
+    UnknownFactError,
+)
+from repro.core.facts import Feedback, Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.orchestrator import (
+    GenericNetworkTransducer,
+    NetworkTransducer,
+    Orchestrator,
+    PreferInstanceMatchingPolicy,
+    RoundRobinPolicy,
+)
+from repro.core.registry import TransducerRegistry
+from repro.core.trace import Trace, TraceStep
+from repro.core.transducer import Activity, Transducer, TransducerResult
+
+__all__ = [
+    "KnowledgeBase",
+    "Predicates",
+    "Feedback",
+    "Transducer",
+    "TransducerResult",
+    "Activity",
+    "TransducerRegistry",
+    "Orchestrator",
+    "NetworkTransducer",
+    "GenericNetworkTransducer",
+    "PreferInstanceMatchingPolicy",
+    "RoundRobinPolicy",
+    "Trace",
+    "TraceStep",
+    "CoreError",
+    "KnowledgeBaseError",
+    "UnknownFactError",
+    "TransducerError",
+    "DependencyError",
+    "OrchestrationError",
+    "RegistryError",
+]

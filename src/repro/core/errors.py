@@ -1,0 +1,31 @@
+"""Exceptions raised by the core architecture layer."""
+
+from __future__ import annotations
+
+
+class CoreError(Exception):
+    """Base class for core-layer errors."""
+
+
+class KnowledgeBaseError(CoreError):
+    """The knowledge base was used inconsistently."""
+
+
+class UnknownFactError(KnowledgeBaseError):
+    """A fact that was expected in the knowledge base is missing."""
+
+
+class TransducerError(CoreError):
+    """A transducer failed to execute or is misconfigured."""
+
+
+class DependencyError(TransducerError):
+    """A transducer's declared input dependency is malformed."""
+
+
+class OrchestrationError(CoreError):
+    """The orchestrator reached an invalid state."""
+
+
+class RegistryError(CoreError):
+    """Transducer registration failed (duplicate name, unknown transducer)."""

@@ -1,0 +1,209 @@
+"""Dynamic orchestration: network transducers and the execution loop.
+
+"As a consequence of the declarative approach to data dependencies, there
+may be several transducers available for execution at the same time; it is
+the responsibility of a *network transducer* to select between the
+executable transducers" (paper §2.4). Network transducers "may be quite
+generic (e.g., by choosing transducers for one type of functionality before
+another …) or may be quite specific (e.g., prefer instance level matchers to
+schema level matchers)".
+
+:class:`Orchestrator` implements the execution loop; the selection policy is
+pluggable via :class:`NetworkTransducer` subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.errors import OrchestrationError
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.registry import TransducerRegistry
+from repro.core.trace import Trace, TraceStep
+from repro.core.transducer import Activity, Transducer
+
+__all__ = [
+    "NetworkTransducer",
+    "GenericNetworkTransducer",
+    "PreferInstanceMatchingPolicy",
+    "RoundRobinPolicy",
+    "Orchestrator",
+]
+
+
+class NetworkTransducer:
+    """Base selection policy: choose which runnable transducer executes next."""
+
+    name = "network_transducer"
+
+    def choose(self, runnable: Sequence[Transducer], kb: KnowledgeBase,
+               trace: Trace) -> Transducer:
+        """Pick one transducer among the runnable ones."""
+        raise NotImplementedError
+
+
+class GenericNetworkTransducer(NetworkTransducer):
+    """The generic policy used in the paper's demonstration.
+
+    Transducers are ordered by the lifecycle rank of their activity
+    (extraction before matching before mapping …), then by their local
+    priority, then alphabetically for determinism.
+    """
+
+    name = "generic_network_transducer"
+
+    def __init__(self, activity_order: Sequence[str] | None = None):
+        self._order = tuple(activity_order) if activity_order else Activity.DEFAULT_ORDER
+
+    def _activity_rank(self, activity: str) -> int:
+        try:
+            return self._order.index(activity)
+        except ValueError:
+            return len(self._order)
+
+    def choose(self, runnable: Sequence[Transducer], kb: KnowledgeBase,
+               trace: Trace) -> Transducer:
+        return min(runnable,
+                   key=lambda t: (self._activity_rank(t.activity), t.priority, t.name))
+
+
+class PreferInstanceMatchingPolicy(GenericNetworkTransducer):
+    """A *specific* network transducer: prefer instance-level matchers.
+
+    The paper gives this as an example of a more specific control policy.
+    Among runnable matching transducers, those whose name mentions
+    ``instance`` win regardless of their declared priority.
+    """
+
+    name = "prefer_instance_matching"
+
+    def choose(self, runnable: Sequence[Transducer], kb: KnowledgeBase,
+               trace: Trace) -> Transducer:
+        matchers = [t for t in runnable if t.activity == Activity.MATCHING]
+        instance_matchers = [t for t in matchers if "instance" in t.name.lower()]
+        if instance_matchers:
+            return min(instance_matchers, key=lambda t: (t.priority, t.name))
+        return super().choose(runnable, kb, trace)
+
+
+class RoundRobinPolicy(NetworkTransducer):
+    """A deliberately naive policy used as an orchestration ablation baseline."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, runnable: Sequence[Transducer], kb: KnowledgeBase,
+               trace: Trace) -> Transducer:
+        ordered = sorted(runnable, key=lambda t: t.name)
+        chosen = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return chosen
+
+
+class Orchestrator:
+    """Runs transducers to quiescence under a network-transducer policy.
+
+    The loop repeatedly: (1) finds transducers whose input dependencies are
+    satisfied and whose inputs changed since their last run, (2) asks the
+    network transducer to pick one, (3) executes it and records a trace
+    step. It stops when nothing is runnable (a fixpoint for the current KB
+    contents) or when ``max_steps`` is reached.
+    """
+
+    def __init__(self, kb: KnowledgeBase, registry: TransducerRegistry | Iterable[Transducer],
+                 policy: NetworkTransducer | None = None, *, max_steps: int = 200):
+        self._kb = kb
+        if isinstance(registry, TransducerRegistry):
+            self._registry = registry
+        else:
+            self._registry = TransducerRegistry(registry)
+        self._policy = policy if policy is not None else GenericNetworkTransducer()
+        self._max_steps = max_steps
+        self._trace = Trace()
+        self._phase = ""
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The knowledge base being orchestrated over."""
+        return self._kb
+
+    @property
+    def registry(self) -> TransducerRegistry:
+        """The transducer registry."""
+        return self._registry
+
+    @property
+    def trace(self) -> Trace:
+        """The accumulated orchestration trace."""
+        return self._trace
+
+    @property
+    def policy(self) -> NetworkTransducer:
+        """The active network transducer."""
+        return self._policy
+
+    def set_policy(self, policy: NetworkTransducer) -> None:
+        """Switch the selection policy (takes effect on the next step)."""
+        self._policy = policy
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent trace steps with a phase name (demo steps 1–4)."""
+        self._phase = phase
+
+    # -- execution -----------------------------------------------------------
+
+    def runnable(self) -> list[Transducer]:
+        """Transducers whose dependencies are satisfied and inputs changed."""
+        return [t for t in self._registry.all() if t.can_run(self._kb)]
+
+    def step(self) -> TraceStep | None:
+        """Execute one transducer; returns None when nothing is runnable."""
+        candidates = self.runnable()
+        if not candidates:
+            return None
+        chosen = self._policy.choose(candidates, self._kb, self._trace)
+        if chosen not in candidates:
+            raise OrchestrationError(
+                f"policy {self._policy.name!r} chose {chosen.name!r}, which is not runnable")
+        revision_before = self._kb.revision
+        result = chosen.execute(self._kb)
+        step = TraceStep(
+            index=len(self._trace),
+            transducer=chosen.name,
+            activity=chosen.activity,
+            runnable=tuple(sorted(t.name for t in candidates)),
+            revision_before=revision_before,
+            revision_after=self._kb.revision,
+            facts_added=result.facts_added,
+            tables_written=tuple(result.tables_written),
+            duration_seconds=float(result.details.get("duration_seconds", 0.0)),
+            notes=result.notes,
+            phase=self._phase,
+        )
+        self._trace.record(step)
+        return step
+
+    def run(self, *, max_steps: int | None = None) -> Trace:
+        """Execute until quiescence (or until the step budget is exhausted)."""
+        budget = max_steps if max_steps is not None else self._max_steps
+        executed = 0
+        while executed < budget:
+            step = self.step()
+            if step is None:
+                return self._trace
+            executed += 1
+        if self.runnable():
+            raise OrchestrationError(
+                f"orchestration did not quiesce within {budget} steps; "
+                f"still runnable: {[t.name for t in self.runnable()]}")
+        return self._trace
+
+    def reset(self) -> None:
+        """Clear execution history (trace and per-transducer state)."""
+        self._trace = Trace()
+        self._registry.reset_all()
+        self._phase = ""

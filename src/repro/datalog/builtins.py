@@ -1,0 +1,88 @@
+"""Evaluation of built-in comparison literals.
+
+Vadalog-lite supports the usual comparison operators plus ``=`` which doubles
+as equality test and as assignment when one side is an unbound variable
+(handled by the engine before reaching :func:`evaluate_comparison`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.datalog.errors import EvaluationError
+from repro.datalog.terms import Comparison, Constant, Substitution, Term, Variable
+
+__all__ = ["evaluate_comparison", "try_bind_assignment", "resolve_term"]
+
+
+def resolve_term(term: Term, binding: Mapping[str, Any]) -> tuple[bool, Any]:
+    """Resolve a term under a binding.
+
+    Returns ``(True, value)`` when the term is ground (constant or bound
+    variable) and ``(False, None)`` when it is an unbound variable.
+    """
+    if isinstance(term, Constant):
+        return True, term.value
+    if isinstance(term, Variable):
+        if term.name in binding:
+            return True, binding[term.name]
+        return False, None
+    raise EvaluationError(f"unsupported term type {type(term).__name__}")  # pragma: no cover
+
+
+def try_bind_assignment(comparison: Comparison, binding: Substitution) -> Substitution | None:
+    """Treat ``X = value`` (or ``value = X``) as an assignment.
+
+    Returns an extended binding when exactly one side is an unbound variable
+    and the other side is ground; returns None when the comparison is not an
+    assignment under the current binding.
+    """
+    if comparison.op not in ("=", "=="):
+        return None
+    left_ground, left_value = resolve_term(comparison.left, binding)
+    right_ground, right_value = resolve_term(comparison.right, binding)
+    if left_ground and not right_ground and isinstance(comparison.right, Variable):
+        extended = dict(binding)
+        extended[comparison.right.name] = left_value
+        return extended
+    if right_ground and not left_ground and isinstance(comparison.left, Variable):
+        extended = dict(binding)
+        extended[comparison.left.name] = right_value
+        return extended
+    return None
+
+
+def evaluate_comparison(comparison: Comparison, binding: Mapping[str, Any]) -> bool:
+    """Evaluate a fully bound comparison literal."""
+    left_ground, left = resolve_term(comparison.left, binding)
+    right_ground, right = resolve_term(comparison.right, binding)
+    if not (left_ground and right_ground):
+        raise EvaluationError(
+            f"comparison {comparison} has unbound variables under {dict(binding)!r}")
+    op = comparison.op
+    if op in ("=", "=="):
+        return _values_equal(left, right)
+    if op == "!=":
+        return not _values_equal(left, right)
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        # Incomparable types never satisfy an ordering comparison.
+        return False
+    raise EvaluationError(f"unknown comparison operator {op!r}")  # pragma: no cover
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    """Equality with numeric cross-type tolerance (1 == 1.0) but not bool/int mixing."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right

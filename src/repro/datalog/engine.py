@@ -1,0 +1,329 @@
+"""Bottom-up, semi-naive evaluation of stratified Vadalog-lite programs.
+
+The engine is the reproduction of the paper's *Vadalog Reasoner*: the
+architecture uses it to evaluate transducer input dependencies against the
+knowledge base, to express orchestration conditions and to represent schema
+mappings. The fragment implemented here (stratified Datalog with negation
+and comparisons) covers all of those uses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Mapping
+
+from repro.datalog.builtins import evaluate_comparison, try_bind_assignment
+from repro.datalog.errors import EvaluationError, UnknownPredicateError
+from repro.datalog.parser import parse_atom
+from repro.datalog.program import Program
+from repro.datalog.stratify import stratum_order
+from repro.datalog.terms import Atom, Constant, Literal, Rule, Substitution, Variable
+
+__all__ = ["Database", "Engine", "evaluate", "query"]
+
+
+class Database:
+    """Extensional store: predicate name → set of constant tuples."""
+
+    def __init__(self, relations: Mapping[str, Iterable[tuple]] | None = None):
+        self._relations: dict[str, set[tuple]] = defaultdict(set)
+        if relations:
+            for predicate, rows in relations.items():
+                for row in rows:
+                    self.add(predicate, tuple(row))
+
+    def add(self, predicate: str, row: tuple) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        relation = self._relations[predicate]
+        before = len(relation)
+        relation.add(tuple(row))
+        return len(relation) != before
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom."""
+        return self.add(atom.predicate, atom.as_tuple())
+
+    def remove(self, predicate: str, row: tuple) -> bool:
+        """Remove a tuple; returns True when it was present."""
+        relation = self._relations.get(predicate)
+        if relation and tuple(row) in relation:
+            relation.discard(tuple(row))
+            return True
+        return False
+
+    def relation(self, predicate: str) -> set[tuple]:
+        """All tuples of ``predicate`` (empty set when unknown)."""
+        return self._relations.get(predicate, set())
+
+    def predicates(self) -> list[str]:
+        """Sorted names of all non-empty relations."""
+        return sorted(name for name, rows in self._relations.items() if rows)
+
+    def __contains__(self, predicate: object) -> bool:
+        return predicate in self._relations and bool(self._relations[predicate])
+
+    def count(self, predicate: str | None = None) -> int:
+        """Number of tuples in one relation, or in the whole database."""
+        if predicate is not None:
+            return len(self.relation(predicate))
+        return sum(len(rows) for rows in self._relations.values())
+
+    def copy(self) -> "Database":
+        """An independent copy of the database."""
+        clone = Database()
+        for predicate, rows in self._relations.items():
+            clone._relations[predicate] = set(rows)
+        return clone
+
+    def merge(self, other: "Database") -> None:
+        """Add every tuple of ``other`` into this database."""
+        for predicate, rows in other._relations.items():
+            self._relations[predicate] |= rows
+
+    def __repr__(self) -> str:
+        return f"Database(predicates={len(self._relations)}, tuples={self.count()})"
+
+
+class Engine:
+    """Evaluates a :class:`Program` over a :class:`Database` of EDB facts."""
+
+    def __init__(self, program: Program):
+        self._program = program
+        self._strata = stratum_order(program)
+
+    @property
+    def program(self) -> Program:
+        """The program being evaluated."""
+        return self._program
+
+    def run(self, edb: Database | Mapping[str, Iterable[tuple]] | None = None) -> Database:
+        """Compute the full model: EDB facts plus all derivable IDB facts."""
+        database = self._initial_database(edb)
+        for layer in self._strata:
+            rules = [rule for predicate in layer for rule in self._program.rules_for(predicate)]
+            self._evaluate_stratum(rules, database)
+        return database
+
+    def _initial_database(self, edb) -> Database:
+        if isinstance(edb, Database):
+            database = edb.copy()
+        else:
+            database = Database(edb or {})
+        for fact_rule in self._program.facts:
+            database.add_atom(fact_rule.head)
+        return database
+
+    # -- stratum evaluation (semi-naive) ------------------------------------
+
+    def _evaluate_stratum(self, rules: list[Rule], database: Database) -> None:
+        if not rules:
+            return
+        derived_predicates = {rule.head.predicate for rule in rules}
+        # First round: full naive evaluation seeds the deltas.
+        delta: dict[str, set[tuple]] = {p: set() for p in derived_predicates}
+        for rule in rules:
+            for row in self._evaluate_rule(rule, database, delta=None):
+                if database.add(rule.head.predicate, row):
+                    delta[rule.head.predicate].add(row)
+        # Subsequent rounds only join against the delta of recursive predicates.
+        while any(delta.values()):
+            new_delta: dict[str, set[tuple]] = {p: set() for p in derived_predicates}
+            for rule in rules:
+                recursive = rule.body_predicates() & derived_predicates
+                if not recursive:
+                    continue
+                for row in self._evaluate_rule(rule, database, delta=delta):
+                    if database.add(rule.head.predicate, row):
+                        new_delta[rule.head.predicate].add(row)
+            delta = new_delta
+
+    def _evaluate_rule(self, rule: Rule, database: Database,
+                       delta: dict[str, set[tuple]] | None) -> set[tuple]:
+        """All head tuples derivable by one rule.
+
+        With ``delta`` given, at least one positive literal must be matched
+        against the delta relation (semi-naive restriction); we implement this
+        by iterating over which positive literal is the "delta literal".
+        """
+        positive = [l for l in rule.body if l.is_positive_atom]
+        if delta is None:
+            bindings = self._match_body(rule, database, delta_index=None, delta=None)
+            return self._project_head(rule, bindings)
+        results: set[tuple] = set()
+        for index, literal in enumerate(positive):
+            assert literal.atom is not None
+            if literal.atom.predicate not in delta or not delta[literal.atom.predicate]:
+                continue
+            bindings = self._match_body(rule, database, delta_index=index, delta=delta)
+            results |= self._project_head(rule, bindings)
+        return results
+
+    def _project_head(self, rule: Rule, bindings: Iterable[Substitution]) -> set[tuple]:
+        rows: set[tuple] = set()
+        for binding in bindings:
+            head = rule.head.substitute(binding)
+            if not head.is_ground:
+                raise EvaluationError(f"head {rule.head} not ground under {binding!r}")
+            rows.add(head.as_tuple())
+        return rows
+
+    def _match_body(self, rule: Rule, database: Database, *,
+                    delta_index: int | None, delta: dict[str, set[tuple]] | None
+                    ) -> list[Substitution]:
+        """Enumerate substitutions satisfying the rule body.
+
+        Literals are consumed greedily: positive atoms extend bindings;
+        comparisons and negated atoms are applied as soon as their variables
+        are bound (deferring them otherwise).
+        """
+        bindings: list[Substitution] = [{}]
+        pending: list[Literal] = list(rule.body)
+        positive_seen = -1
+
+        while pending:
+            literal, positive_seen = self._pop_next(pending, bindings, positive_seen)
+            if literal is None:
+                raise EvaluationError(
+                    f"rule {rule}: cannot order body literals (unbound built-in or negation)")
+            bindings = self._apply_literal(
+                literal, bindings, database,
+                use_delta=(delta is not None and literal.is_positive_atom
+                           and positive_seen == delta_index),
+                delta=delta)
+            if not bindings:
+                return []
+        return bindings
+
+    def _pop_next(self, pending: list[Literal], bindings: list[Substitution],
+                  positive_seen: int) -> tuple[Literal | None, int]:
+        """Choose the next evaluable literal, preferring filters over joins."""
+        bound = set(bindings[0]) if bindings else set()
+        if bindings:
+            # All bindings share the same variable set by construction.
+            bound = set(bindings[0].keys())
+        # 1. comparisons / negations whose variables are fully bound.
+        for index, literal in enumerate(pending):
+            if literal.is_comparison:
+                comparison = literal.comparison
+                assert comparison is not None
+                if comparison.variables() <= bound or (
+                        comparison.op in ("=", "==")
+                        and len(comparison.variables() - bound) == 1):
+                    return pending.pop(index), positive_seen
+            elif literal.is_negated_atom and literal.variables() <= bound:
+                return pending.pop(index), positive_seen
+        # 2. otherwise the first positive atom.
+        for index, literal in enumerate(pending):
+            if literal.is_positive_atom:
+                return pending.pop(index), positive_seen + 1
+        return None, positive_seen
+
+    def _apply_literal(self, literal: Literal, bindings: list[Substitution],
+                       database: Database, *, use_delta: bool,
+                       delta: dict[str, set[tuple]] | None) -> list[Substitution]:
+        if literal.is_comparison:
+            comparison = literal.comparison
+            assert comparison is not None
+            surviving = []
+            for binding in bindings:
+                assigned = try_bind_assignment(comparison.substitute(binding), {})
+                if assigned is not None:
+                    merged = dict(binding)
+                    merged.update(assigned)
+                    surviving.append(merged)
+                elif evaluate_comparison(comparison, binding):
+                    surviving.append(binding)
+            return surviving
+        atom = literal.atom
+        assert atom is not None
+        if literal.negated:
+            rows = database.relation(atom.predicate)
+            surviving = []
+            for binding in bindings:
+                ground = atom.substitute(binding)
+                if not ground.is_ground:
+                    raise EvaluationError(f"negated atom {atom} not ground under {binding!r}")
+                if ground.as_tuple() not in rows:
+                    surviving.append(binding)
+            return surviving
+        # Positive atom: join.
+        if use_delta and delta is not None:
+            rows = delta.get(atom.predicate, set())
+        else:
+            rows = database.relation(atom.predicate)
+        extended: list[Substitution] = []
+        for binding in bindings:
+            for row in rows:
+                unified = _unify(atom, row, binding)
+                if unified is not None:
+                    extended.append(unified)
+        return extended
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, goal: Atom | str, edb: Database | Mapping[str, Iterable[tuple]] | None = None,
+              *, database: Database | None = None) -> list[tuple]:
+        """Evaluate the program and return tuples matching ``goal``.
+
+        ``goal`` may contain variables and constants; constants act as
+        filters. The returned tuples are full rows of the goal predicate.
+        """
+        if isinstance(goal, str):
+            goal = parse_atom(goal)
+        model = database if database is not None else self.run(edb)
+        known = set(self._program.predicates()) | set(model.predicates())
+        if goal.predicate not in known:
+            raise UnknownPredicateError(goal.predicate)
+        results = []
+        for row in model.relation(goal.predicate):
+            if _unify(goal, row, {}) is not None:
+                results.append(row)
+        return sorted(results, key=_sort_key)
+
+
+def _unify(atom: Atom, row: tuple, binding: Substitution) -> Substitution | None:
+    """Unify an atom's terms against a constant tuple under ``binding``."""
+    if len(atom.terms) != len(row):
+        return None
+    result = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if not _constants_match(term.value, value):
+                return None
+        elif isinstance(term, Variable):
+            if term.is_anonymous:
+                continue
+            if term.name in result:
+                if not _constants_match(result[term.name], value):
+                    return None
+            else:
+                result[term.name] = value
+    return result
+
+
+def _constants_match(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right
+
+
+def _sort_key(row: tuple) -> tuple:
+    return tuple((str(type(v).__name__), str(v)) for v in row)
+
+
+def evaluate(program: Program | str,
+             edb: Database | Mapping[str, Iterable[tuple]] | None = None) -> Database:
+    """One-shot helper: parse/evaluate ``program`` and return the full model."""
+    if isinstance(program, str):
+        program = Program.parse(program)
+    return Engine(program).run(edb)
+
+
+def query(program: Program | str, goal: Atom | str,
+          edb: Database | Mapping[str, Iterable[tuple]] | None = None) -> list[tuple]:
+    """One-shot helper: evaluate ``program`` and return tuples matching ``goal``."""
+    if isinstance(program, str):
+        program = Program.parse(program)
+    return Engine(program).query(goal, edb)

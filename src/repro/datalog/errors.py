@@ -1,0 +1,39 @@
+"""Exceptions raised by the Vadalog-lite reasoner."""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all reasoner errors."""
+
+
+class ParseError(DatalogError):
+    """The textual program could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+
+
+class SafetyError(DatalogError):
+    """A rule violates Datalog safety (unbound head/negated/builtin variable)."""
+
+
+class StratificationError(DatalogError):
+    """The program has no stratification (negative cycle through negation)."""
+
+
+class EvaluationError(DatalogError):
+    """Evaluation failed (e.g. a builtin applied to incompatible values)."""
+
+
+class UnknownPredicateError(DatalogError):
+    """A query references a predicate that is neither EDB nor IDB."""
+
+    def __init__(self, predicate: str):
+        self.predicate = predicate
+        super().__init__(f"unknown predicate {predicate!r}")

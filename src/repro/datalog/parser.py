@@ -1,0 +1,254 @@
+"""Parser for the textual Vadalog-lite syntax.
+
+Grammar (informal)::
+
+    program     := (rule | fact | comment)*
+    rule        := atom ":-" body "."
+    fact        := atom "."
+    body        := literal ("," literal)*
+    literal     := ["not"] atom | term comp_op term
+    atom        := predicate "(" term ("," term)* ")" | predicate
+    term        := variable | number | string | symbol | boolean
+    variable    := [A-Z_][A-Za-z0-9_]*
+    symbol      := [a-z][A-Za-z0-9_]*          (treated as a string constant)
+    comment     := "%" ... end of line
+
+Example::
+
+    % transducer dependency: mapping generation needs both schemas
+    runnable(mapping_generation) :- schema(S, source), schema(T, target).
+    expensive(P) :- property(P, Price), Price > 500000.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.datalog.errors import ParseError
+from repro.datalog.terms import (
+    COMPARISON_OPERATORS,
+    Atom,
+    Comparison,
+    Constant,
+    Literal,
+    Rule,
+    Term,
+    Variable,
+)
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "tokenize"]
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("WS", r"\s+"),
+    ("IMPLIES", r":-"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("COMPARE", r"==|!=|<=|>=|<|>|="),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+]
+_TOKEN_REGEX = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Split source text into tokens, dropping whitespace and comments."""
+    tokens: list[_Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_REGEX.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(f"unexpected character {text[position]!r}", line, column)
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = position - line_start + 1
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, value, line, column))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + value.rfind("\n") + 1
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def _peek(self) -> _Token | None:
+        if self.at_end():
+            return None
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind} but reached end of input")
+        if token.kind != kind:
+            raise ParseError(f"expected {kind} but found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> list[Rule]:
+        rules = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        token = self._peek()
+        if token is not None and token.kind == "IMPLIES":
+            self._advance()
+            body = self._parse_body()
+            self._expect("DOT")
+            return Rule(head, body)
+        self._expect("DOT")
+        return Rule(head)
+
+    def _parse_body(self) -> list[Literal]:
+        literals = [self._parse_literal()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._advance()
+                literals.append(self._parse_literal())
+            else:
+                return literals
+
+    def _parse_literal(self) -> Literal:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a literal but reached end of input")
+        if token.kind == "NAME" and token.text == "not":
+            self._advance()
+            atom = self.parse_atom()
+            return Literal(atom=atom, negated=True)
+        # Could be an atom (predicate followed by '(') or a comparison.
+        return self._parse_atom_or_comparison()
+
+    def _parse_atom_or_comparison(self) -> Literal:
+        start = self._position
+        term = self._parse_term()
+        token = self._peek()
+        if token is not None and token.kind == "COMPARE":
+            operator = self._advance().text
+            right = self._parse_term()
+            if operator not in COMPARISON_OPERATORS:
+                raise ParseError(f"unknown comparison operator {operator!r}",
+                                 token.line, token.column)
+            return Literal(comparison=Comparison(term, operator, right))
+        # Not a comparison: rewind and parse as an atom.
+        self._position = start
+        atom = self.parse_atom()
+        return Literal(atom=atom)
+
+    def parse_atom(self) -> Atom:
+        token = self._expect("NAME")
+        if token.text == "not":
+            raise ParseError("'not' is not a valid predicate name", token.line, token.column)
+        if not token.text[0].islower():
+            raise ParseError(
+                f"predicate names must start lowercase, got {token.text!r}",
+                token.line, token.column)
+        predicate = token.text
+        next_token = self._peek()
+        if next_token is None or next_token.kind != "LPAREN":
+            return Atom(predicate, ())
+        self._advance()
+        terms = [self._parse_term()]
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("unterminated atom: expected ',' or ')'")
+            if token.kind == "COMMA":
+                self._advance()
+                terms.append(self._parse_term())
+            elif token.kind == "RPAREN":
+                self._advance()
+                return Atom(predicate, tuple(terms))
+            else:
+                raise ParseError(f"expected ',' or ')' but found {token.text!r}",
+                                 token.line, token.column)
+
+    def _parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            raw = token.text[1:-1]
+            return Constant(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "NAME":
+            text = token.text
+            if text in ("true", "false"):
+                return Constant(text == "true")
+            if text[0].isupper() or text[0] == "_":
+                return Variable(text)
+            # Lower-case bare names are symbols, i.e. string constants.
+            return Constant(text)
+        raise ParseError(f"expected a term but found {token.text!r}", token.line, token.column)
+
+
+def parse_program(text: str) -> list[Rule]:
+    """Parse a whole program (a sequence of rules and facts)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule or fact."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom (used for queries)."""
+    parser = _Parser(tokenize(text))
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return atom

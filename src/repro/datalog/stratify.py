@@ -1,0 +1,64 @@
+"""Stratification of Datalog programs with negation.
+
+A program is stratifiable when no predicate depends on itself through a
+negation. The stratifier assigns each IDB predicate a stratum number such
+that positive dependencies stay within or below the stratum and negative
+dependencies point strictly below. Evaluation then proceeds stratum by
+stratum (see :mod:`repro.datalog.engine`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.datalog.errors import StratificationError
+from repro.datalog.program import Program
+
+__all__ = ["stratify", "stratum_order"]
+
+
+def stratify(program: Program) -> dict[str, int]:
+    """Assign a stratum number to every predicate of ``program``.
+
+    EDB predicates are always stratum 0. Raises
+    :class:`StratificationError` when the program has a cycle through
+    negation.
+    """
+    graph = program.dependency_graph()
+    idb = program.idb_predicates()
+    predicates = program.predicates()
+    strata = {predicate: 0 for predicate in predicates}
+
+    # Iteratively raise strata: h >= b for positive edges, h >= b+1 for
+    # negative edges. The maximum legal stratum is the number of IDB
+    # predicates; exceeding it implies a negative cycle.
+    limit = max(1, len(idb))
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit * max(1, len(predicates)) + 1:
+            raise StratificationError(
+                "program is not stratifiable (cycle through negation)")
+        for head, edges in graph.items():
+            for body_predicate, negated in edges:
+                required = strata[body_predicate] + (1 if negated else 0)
+                if strata[head] < required:
+                    if required > limit:
+                        raise StratificationError(
+                            f"program is not stratifiable: predicate {head!r} depends "
+                            f"negatively on a cycle")
+                    strata[head] = required
+                    changed = True
+    return strata
+
+
+def stratum_order(program: Program) -> list[list[str]]:
+    """Group IDB predicates into evaluation layers, lowest stratum first."""
+    strata = stratify(program)
+    idb = program.idb_predicates()
+    layers: dict[int, list[str]] = defaultdict(list)
+    for predicate in sorted(idb):
+        layers[strata[predicate]].append(predicate)
+    return [layers[level] for level in sorted(layers)]

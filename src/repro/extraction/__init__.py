@@ -1,0 +1,31 @@
+"""Synthetic deep-web extraction (DIADEM substitute)."""
+
+from repro.extraction.extractor import WebExtractor
+from repro.extraction.noise import NoiseInjector, NoiseProfile
+from repro.extraction.pages import Listing, ResultPage, SiteTemplate, SyntheticSite
+from repro.extraction.transducers import (
+    DEFAULT_ATTRIBUTE_HINTS,
+    WEB_SOURCE_PREDICATE,
+    DataExtractionTransducer,
+    register_web_source,
+    web_pages_artifact_key,
+)
+from repro.extraction.wrapper import ExtractionRule, SiteWrapper, induce_wrapper
+
+__all__ = [
+    "Listing",
+    "ResultPage",
+    "SiteTemplate",
+    "SyntheticSite",
+    "NoiseProfile",
+    "NoiseInjector",
+    "ExtractionRule",
+    "SiteWrapper",
+    "induce_wrapper",
+    "WebExtractor",
+    "DataExtractionTransducer",
+    "register_web_source",
+    "web_pages_artifact_key",
+    "WEB_SOURCE_PREDICATE",
+    "DEFAULT_ATTRIBUTE_HINTS",
+]

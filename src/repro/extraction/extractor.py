@@ -1,0 +1,40 @@
+"""The extractor: pages + wrapper → a relational source table."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.extraction.pages import ResultPage
+from repro.extraction.wrapper import SiteWrapper
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, infer_common_type, infer_type
+
+__all__ = ["WebExtractor"]
+
+
+class WebExtractor:
+    """Turns result pages into a source table using a site wrapper."""
+
+    def __init__(self, wrapper: SiteWrapper):
+        self._wrapper = wrapper
+
+    @property
+    def wrapper(self) -> SiteWrapper:
+        """The wrapper driving the extraction."""
+        return self._wrapper
+
+    def extract(self, pages: Sequence[ResultPage], *, table_name: str | None = None) -> Table:
+        """Extract every listing into a table named after the site.
+
+        Column types are inferred from the extracted values so that numeric
+        fields (price, bedrooms) end up with numeric types even though the
+        page renders them as text.
+        """
+        records = self._wrapper.extract_pages(pages)
+        attributes = []
+        for attribute in self._wrapper.attributes():
+            observed = [infer_type(record.get(attribute)) for record in records]
+            attributes.append(Attribute(attribute, infer_common_type(observed)))
+        schema = Schema(table_name or self._wrapper.site, attributes)
+        return Table.from_dicts(schema, records)

@@ -1,0 +1,118 @@
+"""Noise injection: the defects real web extraction introduces.
+
+The paper motivates feedback with a concrete extraction error: "automatic
+web data extraction may be using the area of the master bedroom as the
+number of bedrooms". The noise model reproduces that error plus the other
+defects the quality components are designed to handle:
+
+- missing values (fields absent from listings);
+- format drift (price rendered with currency symbols and separators,
+  postcodes lower-cased or stripped of their space);
+- wrong-field extraction (bedroom count replaced by a room area);
+- typos in street names (breaking exact matching and CFD checks).
+
+All noise is seeded and applied per (attribute, rate) so experiments can
+sweep noise levels deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, MutableMapping, Sequence
+
+__all__ = ["NoiseProfile", "NoiseInjector"]
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Noise rates for one source (all rates are per-cell probabilities)."""
+
+    #: Attribute → probability of the value being missing.
+    missing_rates: Mapping[str, float] = field(default_factory=dict)
+    #: Probability that ``bedrooms`` carries a room area instead of a count.
+    bedroom_area_rate: float = 0.0
+    #: Probability of a typo being introduced into ``street``.
+    street_typo_rate: float = 0.0
+    #: Probability of the postcode losing its space / being lower-cased.
+    postcode_format_rate: float = 0.0
+    #: Probability of the ``type`` value being abbreviated or mis-cased.
+    type_variation_rate: float = 0.0
+
+    def missing_rate(self, attribute: str) -> float:
+        """The missing-value rate for ``attribute`` (0 when unspecified)."""
+        return float(self.missing_rates.get(attribute, 0.0))
+
+
+#: Common abbreviations of property types seen across portals.
+_TYPE_VARIANTS = {
+    "detached": ["Detached", "detached house", "Det."],
+    "semi-detached": ["Semi-Detached", "semi detached", "Semi"],
+    "terraced": ["Terraced", "terrace", "Terr."],
+    "flat": ["Flat", "apartment", "FLAT"],
+    "bungalow": ["Bungalow", "bungalow", "Bung."],
+}
+
+
+class NoiseInjector:
+    """Applies a :class:`NoiseProfile` to clean records."""
+
+    def __init__(self, profile: NoiseProfile, *, seed: int = 0):
+        self._profile = profile
+        self._rng = random.Random(seed)
+
+    @property
+    def profile(self) -> NoiseProfile:
+        """The noise profile being applied."""
+        return self._profile
+
+    def corrupt_records(self, records: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Return noisy copies of ``records`` (originals are not modified)."""
+        return [self.corrupt_record(dict(record)) for record in records]
+
+    def corrupt_record(self, record: MutableMapping[str, Any]) -> dict[str, Any]:
+        """Apply every noise channel to one record."""
+        noisy = dict(record)
+        profile = self._profile
+        rng = self._rng
+        for attribute in list(noisy):
+            if rng.random() < profile.missing_rate(attribute):
+                noisy[attribute] = None
+        if "bedrooms" in noisy and noisy["bedrooms"] is not None:
+            if rng.random() < profile.bedroom_area_rate:
+                # The classic DIADEM-style error: master bedroom area (in
+                # square feet) extracted as the number of bedrooms.
+                noisy["bedrooms"] = rng.randint(90, 400)
+        if "street" in noisy and isinstance(noisy["street"], str):
+            if rng.random() < profile.street_typo_rate:
+                noisy["street"] = self._introduce_typo(noisy["street"])
+        if "postcode" in noisy and isinstance(noisy["postcode"], str):
+            if rng.random() < profile.postcode_format_rate:
+                noisy["postcode"] = self._drift_postcode(noisy["postcode"])
+        if "type" in noisy and isinstance(noisy["type"], str):
+            if rng.random() < profile.type_variation_rate:
+                noisy["type"] = self._vary_type(noisy["type"])
+        return noisy
+
+    # -- individual channels ----------------------------------------------------
+
+    def _introduce_typo(self, text: str) -> str:
+        if len(text) < 4:
+            return text
+        position = self._rng.randrange(1, len(text) - 1)
+        action = self._rng.choice(("drop", "swap", "double"))
+        if action == "drop":
+            return text[:position] + text[position + 1:]
+        if action == "swap" and position + 1 < len(text):
+            return text[:position] + text[position + 1] + text[position] + text[position + 2:]
+        return text[:position] + text[position] + text[position:]
+
+    def _drift_postcode(self, postcode: str) -> str:
+        drifted = postcode.replace(" ", "") if self._rng.random() < 0.5 else postcode
+        return drifted.lower() if self._rng.random() < 0.5 else drifted
+
+    def _vary_type(self, property_type: str) -> str:
+        variants = _TYPE_VARIANTS.get(property_type.strip().lower())
+        if not variants:
+            return property_type.upper() if self._rng.random() < 0.5 else property_type.title()
+        return self._rng.choice(variants)

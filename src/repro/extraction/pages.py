@@ -1,0 +1,122 @@
+"""Synthetic deep-web result pages.
+
+The paper's source tables "represent the results of web data extraction over
+deep web sources, as can be generated automatically by DIADEM". DIADEM (and
+the live portals it wraps) is not available offline, so this module provides
+the closest synthetic equivalent: a :class:`SyntheticSite` renders clean
+property records into semi-structured listing pages using a site-specific
+template, and the extractor (:mod:`repro.extraction.extractor`) turns the
+pages back into relational data. The round trip exercises the same code
+path the architecture expects from a web-extraction transducer, including
+the characteristic extraction errors (mislabelled fields, format drift,
+missing values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["Listing", "ResultPage", "SiteTemplate", "SyntheticSite"]
+
+
+@dataclass(frozen=True)
+class Listing:
+    """One listing block on a result page: ordered (label, value) fields."""
+
+    listing_id: str
+    fields: tuple[tuple[str, str], ...]
+
+    def field_dict(self) -> dict[str, str]:
+        """The fields as a dictionary (last value wins for duplicate labels)."""
+        return dict(self.fields)
+
+    def render(self) -> str:
+        """Render the listing as a labelled text block."""
+        lines = [f"== listing {self.listing_id} =="]
+        lines.extend(f"{label}: {value}" for label, value in self.fields)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of listings returned by a deep-web query."""
+
+    site: str
+    page_number: int
+    listings: tuple[Listing, ...]
+
+    def render(self) -> str:
+        """Render the page as text (what a scraped page body would contain)."""
+        header = f"### {self.site} — page {self.page_number} ({len(self.listings)} results)"
+        return "\n\n".join([header, *[listing.render() for listing in self.listings]])
+
+    def __len__(self) -> int:
+        return len(self.listings)
+
+
+@dataclass(frozen=True)
+class SiteTemplate:
+    """How one site labels and formats the record fields.
+
+    ``field_labels`` maps canonical attribute names (price, street, postcode,
+    bedrooms, type, description) to the labels the site uses;
+    ``price_format`` controls rendering of prices (``"plain"`` → ``325000``,
+    ``"currency"`` → ``£325,000``); ``dropped_fields`` never appear on the
+    page (a real site simply may not publish them).
+    """
+
+    name: str
+    field_labels: Mapping[str, str]
+    price_format: str = "plain"
+    dropped_fields: tuple[str, ...] = ()
+
+    def label_for(self, attribute: str) -> str | None:
+        """The page label used for ``attribute`` (None when dropped)."""
+        if attribute in self.dropped_fields:
+            return None
+        return self.field_labels.get(attribute, attribute)
+
+    def format_price(self, price: float) -> str:
+        """Render a price value per the site's convention."""
+        if self.price_format == "currency":
+            return f"£{price:,.0f}"
+        return f"{price:.0f}"
+
+
+class SyntheticSite:
+    """Generates result pages from clean records for one site template."""
+
+    def __init__(self, template: SiteTemplate, *, page_size: int = 25):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self._template = template
+        self._page_size = page_size
+
+    @property
+    def template(self) -> SiteTemplate:
+        """The site template."""
+        return self._template
+
+    def render_pages(self, records: Sequence[Mapping[str, object]]) -> list[ResultPage]:
+        """Render ``records`` into result pages of ``page_size`` listings."""
+        listings = [self._render_listing(index, record)
+                    for index, record in enumerate(records)]
+        pages = []
+        for page_number, start in enumerate(range(0, len(listings), self._page_size), start=1):
+            chunk = tuple(listings[start:start + self._page_size])
+            pages.append(ResultPage(self._template.name, page_number, chunk))
+        return pages
+
+    def _render_listing(self, index: int, record: Mapping[str, object]) -> Listing:
+        fields: list[tuple[str, str]] = []
+        for attribute, value in record.items():
+            label = self._template.label_for(attribute)
+            if label is None or value is None:
+                continue
+            if attribute == "price" and isinstance(value, (int, float)):
+                rendered = self._template.format_price(float(value))
+            else:
+                rendered = str(value)
+            fields.append((label, rendered))
+        return Listing(listing_id=f"{self._template.name}-{index}", fields=tuple(fields))

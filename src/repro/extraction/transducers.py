@@ -1,0 +1,94 @@
+"""The data-extraction transducer.
+
+Extraction is the first activity of the wrangling lifecycle; the generic
+network transducer schedules it before matching. The transducer is
+runnable when ``web_source`` facts point at page artifacts in the knowledge
+base; it extracts each site's pages into a source table and registers it
+(which in turn makes schema matching runnable — the dependency-driven data
+flow of §2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.facts import Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.extraction.extractor import WebExtractor
+from repro.extraction.pages import ResultPage
+from repro.extraction.wrapper import SiteWrapper, induce_wrapper
+
+__all__ = [
+    "WEB_SOURCE_PREDICATE",
+    "web_pages_artifact_key",
+    "register_web_source",
+    "DataExtractionTransducer",
+]
+
+#: KB predicate marking a registered web source: ``web_source(name)``.
+WEB_SOURCE_PREDICATE = "web_source"
+
+#: Attribute hints used when inducing wrappers for the real-estate domain.
+DEFAULT_ATTRIBUTE_HINTS: dict[str, tuple[str, ...]] = {
+    "price": ("price", "asking"),
+    "street": ("street", "address line", "road"),
+    "postcode": ("postcode", "post code", "zip"),
+    "bedrooms": ("bedroom", "beds"),
+    "type": ("type", "property type", "style"),
+    "description": ("description", "summary", "details"),
+    "crime": ("crime",),
+}
+
+
+def web_pages_artifact_key(source_name: str) -> str:
+    """Artifact key under which a web source's pages are stored."""
+    return f"web_pages:{source_name}"
+
+
+def register_web_source(kb: KnowledgeBase, source_name: str,
+                        pages: Sequence[ResultPage], *,
+                        wrapper: SiteWrapper | None = None) -> None:
+    """Register a web source (pages + optional hand-written wrapper) in the KB."""
+    kb.store_artifact(web_pages_artifact_key(source_name), list(pages))
+    if wrapper is not None:
+        kb.store_artifact(f"wrapper:{source_name}", wrapper)
+    kb.assert_fact(WEB_SOURCE_PREDICATE, source_name)
+
+
+class DataExtractionTransducer(Transducer):
+    """Extracts registered web sources into relational source tables."""
+
+    name = "data_extraction"
+    activity = Activity.EXTRACTION
+    priority = 10
+    input_dependencies = (f"{WEB_SOURCE_PREDICATE}(S)",)
+
+    def __init__(self, attribute_hints: Mapping[str, Sequence[str]] | None = None):
+        super().__init__()
+        self._attribute_hints = dict(attribute_hints or DEFAULT_ATTRIBUTE_HINTS)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        extracted = []
+        total_rows = 0
+        for (source_name,) in kb.facts(WEB_SOURCE_PREDICATE):
+            pages = kb.get_artifact(web_pages_artifact_key(source_name))
+            if not pages:
+                continue
+            wrapper = kb.get_artifact(f"wrapper:{source_name}")
+            if wrapper is None:
+                wrapper = induce_wrapper(source_name, pages,
+                                         attribute_hints=self._attribute_hints)
+            table = WebExtractor(wrapper).extract(pages, table_name=source_name)
+            if kb.has_table(source_name):
+                kb.update_table(table)
+            else:
+                kb.register_table(table, Predicates.ROLE_SOURCE)
+            extracted.append(source_name)
+            total_rows += len(table)
+        return TransducerResult(
+            facts_added=0,
+            tables_written=extracted,
+            notes=f"extracted {len(extracted)} web sources ({total_rows} rows)",
+            details={"sources": extracted},
+        )

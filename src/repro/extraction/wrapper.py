@@ -1,0 +1,134 @@
+"""Wrappers: extraction rules mapping page labels to source attributes.
+
+A :class:`SiteWrapper` is the inverse of a
+:class:`~repro.extraction.pages.SiteTemplate`: it knows which page labels
+correspond to which attributes of the extracted source table and how to
+parse the rendered values. Wrappers can be written by hand or *induced*
+from a template plus a handful of example listings
+(:func:`induce_wrapper`), which stands in for DIADEM's automatic form/
+result-page understanding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.extraction.pages import Listing, ResultPage
+
+__all__ = ["ExtractionRule", "SiteWrapper", "induce_wrapper"]
+
+
+def _parse_price(text: str) -> float | None:
+    cleaned = re.sub(r"[£$,\s]", "", text)
+    try:
+        return float(cleaned)
+    except ValueError:
+        return None
+
+
+def _parse_int(text: str) -> int | None:
+    cleaned = re.sub(r"[^\d-]", "", text)
+    if not cleaned or cleaned == "-":
+        return None
+    try:
+        return int(cleaned)
+    except ValueError:
+        return None
+
+
+def _parse_text(text: str) -> str | None:
+    stripped = text.strip()
+    return stripped or None
+
+
+#: Default parsers per canonical attribute.
+_DEFAULT_PARSERS: dict[str, Callable[[str], Any]] = {
+    "price": _parse_price,
+    "bedrooms": _parse_int,
+    "crime": _parse_int,
+    "crimerank": _parse_int,
+}
+
+
+@dataclass(frozen=True)
+class ExtractionRule:
+    """Extract ``attribute`` from the page field labelled ``label``."""
+
+    attribute: str
+    label: str
+    parser: Callable[[str], Any] = _parse_text
+
+    def apply(self, listing: Listing) -> Any:
+        """The parsed value of this rule for one listing (None when absent)."""
+        value = listing.field_dict().get(self.label)
+        if value is None:
+            return None
+        return self.parser(value)
+
+
+@dataclass(frozen=True)
+class SiteWrapper:
+    """A set of extraction rules for one site."""
+
+    site: str
+    rules: tuple[ExtractionRule, ...]
+
+    def attributes(self) -> list[str]:
+        """The attributes this wrapper extracts, in rule order."""
+        return [rule.attribute for rule in self.rules]
+
+    def extract_listing(self, listing: Listing) -> dict[str, Any]:
+        """Extract one listing into an attribute → value record."""
+        return {rule.attribute: rule.apply(listing) for rule in self.rules}
+
+    def extract_pages(self, pages: Sequence[ResultPage]) -> list[dict[str, Any]]:
+        """Extract every listing of every page."""
+        records = []
+        for page in pages:
+            for listing in page.listings:
+                records.append(self.extract_listing(listing))
+        return records
+
+
+def induce_wrapper(site: str, pages: Sequence[ResultPage],
+                   attribute_hints: Mapping[str, Sequence[str]] | None = None,
+                   *, min_label_frequency: float = 0.05) -> SiteWrapper:
+    """Induce a wrapper from example pages.
+
+    Labels occurring on at least ``min_label_frequency`` of listings become
+    candidate fields. Each label is mapped to a canonical attribute by
+    matching it against ``attribute_hints`` (attribute → acceptable label
+    substrings); labels with no hint keep their own (normalised) name. This
+    mirrors, at small scale, the ontology-driven field identification DIADEM
+    performs.
+    """
+    hints = {attribute: [h.lower() for h in substrings]
+             for attribute, substrings in (attribute_hints or {}).items()}
+    label_counts: dict[str, int] = {}
+    total_listings = 0
+    for page in pages:
+        for listing in page.listings:
+            total_listings += 1
+            for label, _value in listing.fields:
+                label_counts[label] = label_counts.get(label, 0) + 1
+    if total_listings == 0:
+        return SiteWrapper(site, ())
+    rules = []
+    for label, count in sorted(label_counts.items()):
+        if count / total_listings < min_label_frequency:
+            continue
+        attribute = _canonical_attribute(label, hints)
+        parser = _DEFAULT_PARSERS.get(attribute, _parse_text)
+        rules.append(ExtractionRule(attribute=attribute, label=label, parser=parser))
+    return SiteWrapper(site, tuple(rules))
+
+
+def _canonical_attribute(label: str, hints: Mapping[str, Sequence[str]]) -> str:
+    lowered = label.lower()
+    for attribute, substrings in hints.items():
+        for substring in substrings:
+            if substring in lowered:
+                return attribute
+    return re.sub(r"[^a-z0-9]+", "_", lowered).strip("_")

@@ -1,0 +1,14 @@
+"""User feedback: annotations, assimilation and the mapping-evaluation transducer."""
+
+from repro.feedback.annotations import FeedbackCollector, simulate_feedback
+from repro.feedback.assimilation import AssignmentEvidence, FeedbackAssimilator
+from repro.feedback.transducers import FeedbackRepairTransducer, MappingEvaluationTransducer
+
+__all__ = [
+    "FeedbackCollector",
+    "simulate_feedback",
+    "AssignmentEvidence",
+    "FeedbackAssimilator",
+    "MappingEvaluationTransducer",
+    "FeedbackRepairTransducer",
+]

@@ -1,0 +1,190 @@
+"""Assimilating feedback: revising match scores and deriving error rates.
+
+Paper §2.3: "A mapping evaluation transducer, given information about the
+results of the mapping may identify a problem with a specific match used
+within the mapping, and revise the score of that match in the knowledge
+base. This may in turn lead to the rerunning of the mapping generation
+transducer in the light of the new evidence, and thus to revised results
+for the user."
+
+The assimilator:
+
+1. attributes each feedback annotation to the ``(source relation, target
+   attribute)`` assignment that produced the annotated value (via the
+   result's provenance columns and the selected mapping);
+2. computes per-assignment error rates;
+3. revises the corresponding ``match`` scores (down for error-prone
+   assignments, slightly up for confirmed ones);
+4. publishes the error rates as the ``feedback_penalties`` artifact used by
+   mapping scoring.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.facts import Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.matching.correspondence import Correspondence, MatchSet
+from repro.mapping.model import PROVENANCE_ROW_ID, PROVENANCE_SOURCE, SchemaMapping
+
+__all__ = ["AssignmentEvidence", "FeedbackAssimilator"]
+
+
+@dataclass
+class AssignmentEvidence:
+    """Feedback tallies for one (source relation, target attribute) assignment."""
+
+    source_relation: str
+    target_attribute: str
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of annotations observed for this assignment."""
+        return self.correct + self.incorrect
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of annotated values that were marked incorrect."""
+        if self.total == 0:
+            return 0.0
+        return self.incorrect / self.total
+
+
+class FeedbackAssimilator:
+    """Turns feedback facts into revised match scores and error-rate artifacts."""
+
+    def __init__(self, *, penalty_scale: float = 0.4, reward_scale: float = 0.05,
+                 min_annotations: int = 1):
+        self._penalty_scale = penalty_scale
+        self._reward_scale = reward_scale
+        self._min_annotations = min_annotations
+
+    def collect_evidence(self, kb: KnowledgeBase, selected_mapping: SchemaMapping | None,
+                         ) -> dict[tuple[str, str], AssignmentEvidence]:
+        """Aggregate feedback facts into per-assignment evidence.
+
+        The result table's provenance column identifies the source relation
+        of each annotated row; attribute-level feedback then points at the
+        assignment for that (source, attribute). Tuple-level feedback
+        contributes to every assignment of the source that produced the row.
+        """
+        evidence: dict[tuple[str, str], AssignmentEvidence] = {}
+        feedback_rows = kb.facts(Predicates.FEEDBACK)
+        if not feedback_rows:
+            return evidence
+        row_sources = self._row_sources(kb)
+        target_attributes = self._target_attributes(kb)
+        for _fid, relation, row_key, attribute, verdict in feedback_rows:
+            source = row_sources.get((relation, row_key))
+            if source is None:
+                # Fall back to the row-key prefix ("source:index").
+                source = str(row_key).split(":", 1)[0] if ":" in str(row_key) else None
+            if source is None:
+                continue
+            correct = verdict == Predicates.CORRECT
+            if attribute == Predicates.ANY_ATTRIBUTE:
+                attributes = target_attributes.get(relation, [])
+            else:
+                attributes = [attribute]
+            for target_attribute in attributes:
+                key = (source, target_attribute)
+                entry = evidence.setdefault(
+                    key, AssignmentEvidence(source, target_attribute))
+                if correct:
+                    entry.correct += 1
+                else:
+                    entry.incorrect += 1
+        return evidence
+
+    def revise_matches(self, kb: KnowledgeBase,
+                       evidence: dict[tuple[str, str], AssignmentEvidence],
+                       source_row_counts: dict[str, int] | None = None) -> int:
+        """Revise ``match`` scores in the KB according to the evidence.
+
+        Returns the number of match facts whose score changed. Error-prone
+        assignments are penalised by ``penalty_scale * error_rate *
+        coverage`` where coverage is the fraction of that source's result
+        rows the annotations actually inspected — a handful of (possibly
+        targeted) annotations nudges the score, sustained negative feedback
+        eventually pushes the match below the mapping-generation threshold.
+        Fully confirmed assignments get a small reward.
+        """
+        if not evidence:
+            return 0
+        source_row_counts = source_row_counts or {}
+        matches = MatchSet.from_kb(kb)
+        revised: list[Correspondence] = []
+        changed = 0
+        for correspondence in matches:
+            key = (correspondence.source_relation, correspondence.target_attribute)
+            entry = evidence.get(key)
+            if entry is None or entry.total < self._min_annotations:
+                revised.append(correspondence)
+                continue
+            rows = max(1, source_row_counts.get(correspondence.source_relation, entry.total))
+            coverage = min(1.0, entry.total / rows)
+            if entry.error_rate > 0:
+                new_score = correspondence.score * (
+                    1.0 - self._penalty_scale * entry.error_rate * coverage)
+            else:
+                support = min(1.0, entry.correct / 10.0)
+                new_score = min(1.0, correspondence.score + self._reward_scale * support)
+            new_score = round(max(0.0, new_score), 6)
+            if abs(new_score - correspondence.score) > 1e-9:
+                changed += 1
+            revised.append(correspondence.with_score(new_score))
+        if changed:
+            kb.retract_where(Predicates.MATCH)
+            MatchSet(revised).assert_into(kb)
+        return changed
+
+    def error_rates(self, evidence: dict[tuple[str, str], AssignmentEvidence]
+                    ) -> dict[tuple[str, str], dict[str, float]]:
+        """Per-assignment error statistics (the ``feedback_penalties`` artifact).
+
+        Each entry carries both the observed error rate and the number of
+        annotations it is based on, so consumers can weight the (possibly
+        biased) feedback sample against their own evidence.
+        """
+        return {key: {"error_rate": entry.error_rate, "annotations": float(entry.total)}
+                for key, entry in evidence.items()
+                if entry.total >= self._min_annotations}
+
+    def source_row_counts(self, kb: KnowledgeBase) -> dict[str, int]:
+        """Number of result rows contributed by each source relation."""
+        counts: dict[str, int] = defaultdict(int)
+        for (_relation, _row_key), source in self._row_sources(kb).items():
+            counts[source] += 1
+        return dict(counts)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _row_sources(kb: KnowledgeBase) -> dict[tuple[str, str], str]:
+        """(result relation, row key) → contributing source relation."""
+        sources: dict[tuple[str, str], str] = {}
+        for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            if PROVENANCE_ROW_ID not in table.schema or PROVENANCE_SOURCE not in table.schema:
+                continue
+            for row in table.rows():
+                sources[(relation, str(row[PROVENANCE_ROW_ID]))] = str(row[PROVENANCE_SOURCE])
+        return sources
+
+    @staticmethod
+    def _target_attributes(kb: KnowledgeBase) -> dict[str, list[str]]:
+        """Result relation → its non-bookkeeping attributes."""
+        attributes: dict[str, list[str]] = {}
+        for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            attributes[relation] = [name for name in table.schema.attribute_names
+                                    if not name.startswith("_")]
+        return attributes

@@ -1,0 +1,135 @@
+"""Feedback-driven transducers: mapping evaluation and feedback repair.
+
+When ``feedback`` facts appear in the knowledge base the mapping-evaluation
+transducer becomes runnable. It attributes the feedback to the matches used
+by the selected mapping, revises their scores, and publishes feedback-derived
+error rates — changes to the ``match`` predicate then make mapping
+generation (and everything downstream) runnable again, closing the paper's
+feedback loop. The feedback-repair transducer applies the annotations
+directly to the materialised result (values the user has marked incorrect
+are removed, tuples marked incorrect are dropped), so the user's effort pays
+off immediately as well as through re-orchestration.
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.feedback.assimilation import FeedbackAssimilator
+from repro.mapping.model import PROVENANCE_ROW_ID
+from repro.mapping.transducers import FEEDBACK_PENALTIES_ARTIFACT_KEY, MAPPINGS_ARTIFACT_KEY
+from repro.relational.types import is_null
+
+__all__ = ["MappingEvaluationTransducer", "FeedbackRepairTransducer"]
+
+
+class MappingEvaluationTransducer(Transducer):
+    """Revises match scores in the light of user feedback on results."""
+
+    name = "mapping_evaluation"
+    activity = Activity.EVALUATION
+    priority = 10
+    # Only feedback itself is a dependency: re-materialising the result must
+    # not re-trigger evaluation of the *same* feedback (that would repeatedly
+    # penalise the same matches and never quiesce).
+    input_dependencies = ("feedback(F, R, K, A, V)",)
+
+    def __init__(self, assimilator: FeedbackAssimilator | None = None):
+        super().__init__()
+        self._assimilator = assimilator or FeedbackAssimilator()
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        candidates = kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {})
+        selected_mapping = None
+        for mapping_id, rank in kb.facts(Predicates.MAPPING_SELECTED):
+            if rank == 1 and mapping_id in candidates:
+                selected_mapping = candidates[mapping_id]
+                break
+        evidence = self._assimilator.collect_evidence(kb, selected_mapping)
+        source_rows = self._assimilator.source_row_counts(kb)
+        revised = self._assimilator.revise_matches(kb, evidence, source_rows)
+        penalties = self._assimilator.error_rates(evidence)
+        kb.store_artifact(FEEDBACK_PENALTIES_ARTIFACT_KEY, penalties)
+        problem_assignments = sorted(
+            f"{source}.{attribute}={entry['error_rate']:.2f}"
+            for (source, attribute), entry in penalties.items()
+            if entry["error_rate"] > 0)
+        return TransducerResult(
+            facts_added=0,
+            notes=(f"assimilated feedback on {len(evidence)} assignments; "
+                   f"revised {revised} match scores"),
+            details={
+                "evidence": {f"{s}.{a}": (e.correct, e.incorrect)
+                             for (s, a), e in evidence.items()},
+                "revised_matches": revised,
+                "problem_assignments": problem_assignments,
+            },
+        )
+
+
+class FeedbackRepairTransducer(Transducer):
+    """Applies feedback annotations directly to the materialised result.
+
+    - attribute-level ``incorrect`` feedback removes the flagged value (a
+      known-wrong value is worse than a missing one for downstream analysis);
+    - tuple-level ``incorrect`` feedback drops the row.
+
+    The transducer re-runs after every re-materialisation (the ``result``
+    watch) so the user's annotations keep being honoured even when the
+    result is rebuilt from a revised mapping.
+    """
+
+    name = "feedback_repair"
+    activity = Activity.REPAIR
+    priority = 20
+    input_dependencies = ("feedback(F, R, K, A, V)",)
+    watch_predicates = ("result",)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        by_relation: dict[str, list[tuple[str, str]]] = {}
+        for _fid, relation, row_key, attribute, verdict in kb.facts(Predicates.FEEDBACK):
+            if verdict != Predicates.INCORRECT:
+                continue
+            by_relation.setdefault(relation, []).append((str(row_key), attribute))
+        if not by_relation:
+            return TransducerResult(notes="no negative feedback to apply")
+        cells_cleared = 0
+        rows_dropped = 0
+        tables_written = []
+        for relation, annotations in by_relation.items():
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            if PROVENANCE_ROW_ID not in table.schema:
+                continue
+            row_id_position = table.schema.position(PROVENANCE_ROW_ID)
+            cell_marks = {(row_key, attribute) for row_key, attribute in annotations
+                          if attribute != Predicates.ANY_ATTRIBUTE}
+            row_marks = {row_key for row_key, attribute in annotations
+                         if attribute == Predicates.ANY_ATTRIBUTE}
+            new_rows = []
+            changed = False
+            for values in table.tuples():
+                row_key = str(values[row_id_position])
+                if row_key in row_marks:
+                    rows_dropped += 1
+                    changed = True
+                    continue
+                mutable = list(values)
+                for position, attribute in enumerate(table.schema.attribute_names):
+                    if (row_key, attribute) in cell_marks and not is_null(mutable[position]):
+                        mutable[position] = None
+                        cells_cleared += 1
+                        changed = True
+                new_rows.append(tuple(mutable))
+            if changed:
+                kb.update_table(table.replace_rows(new_rows))
+                tables_written.append(relation)
+        return TransducerResult(
+            facts_added=0,
+            tables_written=tables_written,
+            notes=f"applied feedback: cleared {cells_cleared} cells, "
+                  f"dropped {rows_dropped} rows",
+            details={"cells_cleared": cells_cleared, "rows_dropped": rows_dropped},
+        )

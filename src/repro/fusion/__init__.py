@@ -1,0 +1,31 @@
+"""Duplicate detection and data fusion."""
+
+from repro.fusion.blocking import block_by_attributes, block_by_key_function, candidate_pairs
+from repro.fusion.duplicates import (
+    DuplicateDetector,
+    DuplicateDetectorConfig,
+    DuplicatePair,
+    cluster_pairs,
+)
+from repro.fusion.fusion import DataFuser, FusionPolicy, FusionResult
+from repro.fusion.transducers import (
+    DUPLICATES_ARTIFACT_KEY,
+    DataFusionTransducer,
+    DuplicateDetectionTransducer,
+)
+
+__all__ = [
+    "block_by_attributes",
+    "block_by_key_function",
+    "candidate_pairs",
+    "DuplicateDetector",
+    "DuplicateDetectorConfig",
+    "DuplicatePair",
+    "cluster_pairs",
+    "DataFuser",
+    "FusionPolicy",
+    "FusionResult",
+    "DuplicateDetectionTransducer",
+    "DataFusionTransducer",
+    "DUPLICATES_ARTIFACT_KEY",
+]

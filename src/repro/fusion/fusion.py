@@ -1,0 +1,141 @@
+"""Data fusion: merging duplicate rows into single consolidated records.
+
+"A data fusion transducer may start to evaluate when duplicates have been
+detected" (§2). Fusion collapses each duplicate cluster into one row,
+resolving attribute conflicts with a configurable policy:
+
+- ``prefer_non_null`` — the first non-null value wins (default);
+- ``majority`` — the most frequent non-null value wins;
+- ``min`` / ``max`` — for numeric attributes (e.g. keep the lowest price);
+- ``longest`` — the longest string (useful for descriptions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.fusion.duplicates import DuplicatePair, cluster_pairs
+from repro.relational.table import Table
+from repro.relational.types import is_null
+
+__all__ = ["FusionPolicy", "FusionResult", "DataFuser"]
+
+
+class FusionPolicy:
+    """Names of the supported conflict-resolution policies."""
+
+    PREFER_NON_NULL = "prefer_non_null"
+    MAJORITY = "majority"
+    MIN = "min"
+    MAX = "max"
+    LONGEST = "longest"
+
+    ALL = (PREFER_NON_NULL, MAJORITY, MIN, MAX, LONGEST)
+
+
+@dataclass
+class FusionResult:
+    """The fused table plus bookkeeping about what was merged."""
+
+    table: Table
+    clusters_fused: int
+    rows_removed: int
+    conflicts_resolved: int
+
+
+class DataFuser:
+    """Fuses duplicate clusters according to per-attribute policies."""
+
+    def __init__(self, *, default_policy: str = FusionPolicy.PREFER_NON_NULL,
+                 attribute_policies: Mapping[str, str] | None = None):
+        if default_policy not in FusionPolicy.ALL:
+            raise ValueError(f"unknown fusion policy {default_policy!r}")
+        for attribute, policy in (attribute_policies or {}).items():
+            if policy not in FusionPolicy.ALL:
+                raise ValueError(f"unknown fusion policy {policy!r} for {attribute!r}")
+        self._default_policy = default_policy
+        self._attribute_policies = dict(attribute_policies or {})
+
+    def fuse(self, table: Table, duplicates: Sequence[DuplicatePair]) -> FusionResult:
+        """Collapse duplicate clusters of ``table`` into single rows.
+
+        Non-duplicate rows are kept unchanged and row order is preserved
+        (each cluster is emitted at the position of its first member).
+        """
+        if not duplicates:
+            return FusionResult(table=table, clusters_fused=0, rows_removed=0,
+                                conflicts_resolved=0)
+        clusters = cluster_pairs(duplicates, len(table))
+        in_cluster: dict[int, int] = {}
+        for cluster_id, members in enumerate(clusters):
+            for member in members:
+                in_cluster[member] = cluster_id
+        rows = table.tuples()
+        names = table.schema.attribute_names
+        emitted_clusters: set[int] = set()
+        fused_rows: list[tuple] = []
+        conflicts = 0
+        for index, values in enumerate(rows):
+            cluster_id = in_cluster.get(index)
+            if cluster_id is None:
+                fused_rows.append(values)
+                continue
+            if cluster_id in emitted_clusters:
+                continue
+            emitted_clusters.add(cluster_id)
+            members = clusters[cluster_id]
+            merged, cluster_conflicts = self._merge(names, [rows[m] for m in members])
+            conflicts += cluster_conflicts
+            fused_rows.append(merged)
+        fused_table = table.replace_rows(fused_rows)
+        return FusionResult(
+            table=fused_table,
+            clusters_fused=len(clusters),
+            rows_removed=len(table) - len(fused_table),
+            conflicts_resolved=conflicts,
+        )
+
+    def _merge(self, names: Sequence[str], member_rows: list[tuple]) -> tuple[tuple, int]:
+        merged = []
+        conflicts = 0
+        for position, name in enumerate(names):
+            values = [row[position] for row in member_rows]
+            present = [value for value in values if not is_null(value)]
+            distinct = {self._normalise(value) for value in present}
+            if len(distinct) > 1:
+                conflicts += 1
+            merged.append(self._resolve(name, present))
+        return tuple(merged), conflicts
+
+    def _resolve(self, attribute: str, values: list[Any]) -> Any:
+        if not values:
+            return None
+        policy = self._attribute_policies.get(attribute, self._default_policy)
+        if policy == FusionPolicy.PREFER_NON_NULL:
+            return values[0]
+        if policy == FusionPolicy.MAJORITY:
+            counts = Counter(self._normalise(value) for value in values)
+            winner, _count = counts.most_common(1)[0]
+            for value in values:
+                if self._normalise(value) == winner:
+                    return value
+            return values[0]
+        if policy in (FusionPolicy.MIN, FusionPolicy.MAX):
+            numeric = [value for value in values
+                       if isinstance(value, (int, float)) and not isinstance(value, bool)]
+            if not numeric:
+                return values[0]
+            return min(numeric) if policy == FusionPolicy.MIN else max(numeric)
+        if policy == FusionPolicy.LONGEST:
+            return max(values, key=lambda value: len(str(value)))
+        return values[0]
+
+    @staticmethod
+    def _normalise(value: Any) -> Any:
+        if isinstance(value, str):
+            return value.strip().lower()
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value

@@ -1,0 +1,105 @@
+"""Fusion transducers: duplicate detection and data fusion.
+
+§2 of the paper uses these as the running example of dependency-driven
+activation: "a data fusion transducer may start to evaluate when duplicates
+have been detected". Duplicate detection needs a materialised result; data
+fusion needs ``duplicate`` facts.
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import Predicates, duplicate_fact
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.fusion.duplicates import DuplicateDetector, DuplicateDetectorConfig, DuplicatePair
+from repro.fusion.fusion import DataFuser
+from repro.mapping.model import PROVENANCE_ROW_ID
+
+__all__ = ["DUPLICATES_ARTIFACT_KEY", "DuplicateDetectionTransducer", "DataFusionTransducer"]
+
+#: Artifact key for detected duplicate pairs per result relation.
+DUPLICATES_ARTIFACT_KEY = "duplicate_pairs"
+
+
+class DuplicateDetectionTransducer(Transducer):
+    """Detects duplicate rows in materialised results."""
+
+    name = "duplicate_detection"
+    activity = Activity.FUSION
+    priority = 10
+    input_dependencies = ("result(R, M, N)",)
+
+    def __init__(self, config: DuplicateDetectorConfig | None = None):
+        super().__init__()
+        self._detector = DuplicateDetector(config)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        added = 0
+        all_pairs: dict[str, list[DuplicatePair]] = {}
+        for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            pairs = self._detector.detect(table)
+            all_pairs[relation] = pairs
+            has_row_id = PROVENANCE_ROW_ID in table.schema
+            rows = table.rows()
+            for pair in pairs:
+                left_key = (str(rows[pair.left_index][PROVENANCE_ROW_ID]) if has_row_id
+                            else str(pair.left_index))
+                right_key = (str(rows[pair.right_index][PROVENANCE_ROW_ID]) if has_row_id
+                             else str(pair.right_index))
+                added += int(kb.assert_tuple(duplicate_fact(
+                    relation, left_key, relation, right_key, pair.score)))
+        kb.store_artifact(DUPLICATES_ARTIFACT_KEY, all_pairs)
+        total = sum(len(pairs) for pairs in all_pairs.values())
+        return TransducerResult(
+            facts_added=added,
+            notes=f"detected {total} duplicate pairs across {len(all_pairs)} results",
+            details={"pairs": {rel: len(pairs) for rel, pairs in all_pairs.items()}},
+        )
+
+
+class DataFusionTransducer(Transducer):
+    """Fuses detected duplicates in materialised results."""
+
+    name = "data_fusion"
+    activity = Activity.FUSION
+    priority = 20
+    input_dependencies = ("duplicate(R, K1, R, K2, S)",)
+
+    def __init__(self, fuser: DataFuser | None = None):
+        super().__init__()
+        self._fuser = fuser or DataFuser()
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        all_pairs = kb.get_artifact(DUPLICATES_ARTIFACT_KEY, {})
+        fused_tables = []
+        rows_removed = 0
+        for relation, pairs in all_pairs.items():
+            if not pairs or not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            result = self._fuser.fuse(table, pairs)
+            if result.rows_removed == 0:
+                continue
+            kb.update_table(result.table)
+            # Refresh the result fact so downstream quality metrics notice
+            # that the materialised result changed.
+            for row in list(kb.facts(Predicates.RESULT)):
+                if row[0] == relation:
+                    kb.retract_fact(Predicates.RESULT, *row)
+                    kb.assert_fact(Predicates.RESULT, relation, row[1], len(result.table))
+            fused_tables.append(relation)
+            rows_removed += result.rows_removed
+        # The fused table invalidates the detected pairs (indexes changed).
+        if fused_tables:
+            kb.store_artifact(DUPLICATES_ARTIFACT_KEY,
+                              {rel: [] for rel in all_pairs})
+        return TransducerResult(
+            facts_added=0,
+            tables_written=fused_tables,
+            notes=f"fused duplicates in {len(fused_tables)} results "
+                  f"({rows_removed} rows removed)",
+            details={"rows_removed": rows_removed},
+        )

@@ -1,0 +1,163 @@
+"""Executing schema mappings against the catalog.
+
+The executor materialises a :class:`~repro.mapping.model.SchemaMapping` into
+a table in the target schema. Missing target attributes become NULL; every
+output row carries two bookkeeping columns, ``_source`` (the contributing
+source relation) and ``_row_id`` (``source:index``), which provide the
+provenance needed for tuple/attribute-level feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mapping.model import PROVENANCE_ROW_ID, PROVENANCE_SOURCE, SchemaMapping
+from repro.relational.catalog import Catalog
+from repro.relational.errors import TableNotFoundError
+from repro.relational.keys import normalise_key
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, coerce_value, is_null
+
+__all__ = ["MappingExecutor"]
+
+
+class MappingExecutor:
+    """Materialises mappings over a catalog of source tables."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    def execute(self, mapping: SchemaMapping, target_schema: Schema, *,
+                result_name: str | None = None) -> Table:
+        """Materialise ``mapping`` into a table named ``result_name``.
+
+        The output schema is the target schema plus the two provenance
+        columns; values are coerced to the target attribute types (coercion
+        failures become NULL rather than aborting the wrangle).
+        """
+        rows = list(self._rows_for(mapping, target_schema))
+        output_schema = self._output_schema(target_schema, result_name or
+                                            f"{target_schema.name}__{mapping.mapping_id}")
+        coerced_rows = []
+        for row in rows:
+            coerced = []
+            for attribute, value in zip(target_schema.attributes, row[:-2]):
+                coerced.append(_coerce_or_null(value, attribute.dtype))
+            coerced_rows.append((*coerced, row[-2], row[-1]))
+        return Table(output_schema, coerced_rows, coerce=False)
+
+    # -- internals -----------------------------------------------------------
+
+    def _output_schema(self, target_schema: Schema, name: str) -> Schema:
+        attributes = list(target_schema.attributes)
+        attributes.append(Attribute(PROVENANCE_SOURCE, DataType.STRING,
+                                    description="provenance: contributing source relation"))
+        attributes.append(Attribute(PROVENANCE_ROW_ID, DataType.STRING,
+                                    description="provenance: source row identifier"))
+        return Schema(name, attributes)
+
+    def _rows_for(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
+        if mapping.kind == "union":
+            for child in mapping.children:
+                yield from self._rows_for(child, target_schema)
+            return
+        if mapping.kind == "direct":
+            yield from self._direct_rows(mapping, target_schema)
+            return
+        yield from self._join_rows(mapping, target_schema)
+
+    def _direct_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
+        source_name = mapping.sources[0]
+        source = self._get(source_name)
+        positions = {}
+        for assignment in mapping.assignments:
+            if assignment.source_attribute in source.schema:
+                positions[assignment.target_attribute] = source.schema.position(
+                    assignment.source_attribute)
+        for index, values in enumerate(source.tuples()):
+            row = []
+            for attribute in target_schema.attribute_names:
+                position = positions.get(attribute)
+                row.append(values[position] if position is not None else None)
+            yield (*row, source_name, f"{source_name}:{index}")
+
+    def _join_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
+        # Join the sources pairwise following the declared conditions. The
+        # first source is the driving relation for provenance purposes.
+        driving_name = mapping.sources[0]
+        driving = self._get(driving_name)
+        # Build per-source indexes for the join conditions that involve the
+        # driving relation; additional sources are joined via nested lookups.
+        others = [name for name in mapping.sources[1:]]
+        indexes: dict[str, dict] = {}
+        join_keys: dict[str, tuple[str, str]] = {}
+        for condition in mapping.join_conditions:
+            if condition.left_relation == driving_name and condition.right_relation in others:
+                other = condition.right_relation
+                join_keys[other] = (condition.left_attribute, condition.right_attribute)
+            elif condition.right_relation == driving_name and condition.left_relation in others:
+                other = condition.left_relation
+                join_keys[other] = (condition.right_attribute, condition.left_attribute)
+        for other in others:
+            table = self._get(other)
+            driving_attr, other_attr = join_keys.get(other, (None, None))
+            index: dict = {}
+            if other_attr is not None and other_attr in table.schema:
+                position = table.schema.position(other_attr)
+                for values in table.tuples():
+                    key = _join_key(values[position])
+                    if key is not None:
+                        index.setdefault(key, values)
+            indexes[other] = index
+
+        assignments_by_source: dict[str, list] = {}
+        for assignment in mapping.assignments:
+            assignments_by_source.setdefault(assignment.source_relation, []).append(assignment)
+
+        for row_index, driving_values in enumerate(driving.tuples()):
+            row: dict[str, object] = {}
+            for assignment in assignments_by_source.get(driving_name, ()):
+                if assignment.source_attribute in driving.schema:
+                    row[assignment.target_attribute] = driving_values[
+                        driving.schema.position(assignment.source_attribute)]
+            matched_all = True
+            for other in others:
+                driving_attr, other_attr = join_keys.get(other, (None, None))
+                other_table = self._get(other)
+                other_values = None
+                if driving_attr is not None and driving_attr in driving.schema:
+                    key = _join_key(driving_values[driving.schema.position(driving_attr)])
+                    if key is not None:
+                        other_values = indexes[other].get(key)
+                if other_values is None:
+                    matched_all = False
+                else:
+                    for assignment in assignments_by_source.get(other, ()):
+                        if assignment.source_attribute in other_table.schema:
+                            row[assignment.target_attribute] = other_values[
+                                other_table.schema.position(assignment.source_attribute)]
+            # Left-outer semantics: keep the driving row even when a joined
+            # source has no partner, leaving its attributes NULL.
+            del matched_all
+            output = [row.get(attribute) for attribute in target_schema.attribute_names]
+            yield (*output, driving_name, f"{driving_name}:{row_index}")
+
+    def _get(self, name: str) -> Table:
+        try:
+            return self._catalog.get(name)
+        except TableNotFoundError:
+            raise TableNotFoundError(name) from None
+
+
+def _coerce_or_null(value, dtype: DataType):
+    if is_null(value):
+        return None
+    try:
+        return coerce_value(value, dtype)
+    except Exception:
+        return None
+
+
+def _join_key(value):
+    return normalise_key(value)

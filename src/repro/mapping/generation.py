@@ -1,0 +1,211 @@
+"""Mapping generation: deriving candidate mappings from correspondences.
+
+Table 1: "Mapping Generation — Src/Target Schemas" (plus the matches between
+them). The generator proposes:
+
+1. a *direct* mapping per source relation that has any correspondence;
+2. *join* mappings for pairs of sources whose matched attributes overlap in
+   value (discovered via inclusion-dependency profiling) and whose target
+   coverage is complementary — in the scenario this is what combines the
+   property sources with the Deprivation table on ``postcode``;
+3. *union* mappings over groups of mappings covering similar target
+   attributes — in the scenario, the union of Rightmove and Onthemarket
+   (optionally each joined with Deprivation).
+
+The candidate set is deliberately over-complete: choosing among the
+candidates is mapping *selection*'s job, driven by quality metrics and the
+user context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.matching.correspondence import MatchSet
+from repro.mapping.model import AttributeAssignment, JoinCondition, SchemaMapping
+from repro.quality.profiling import value_overlap
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+
+__all__ = ["MappingGeneratorConfig", "MappingGenerator"]
+
+
+@dataclass(frozen=True)
+class MappingGeneratorConfig:
+    """Tuning knobs of the mapping generator."""
+
+    #: Correspondences below this score do not induce assignments.
+    match_threshold: float = 0.5
+    #: Minimum value-overlap for a join key candidate.
+    join_overlap_threshold: float = 0.5
+    #: Maximum number of generated candidates (defensive cap).
+    max_candidates: int = 40
+
+
+class MappingGenerator:
+    """Generates candidate mappings from the current matches."""
+
+    def __init__(self, config: MappingGeneratorConfig | None = None):
+        self._config = config or MappingGeneratorConfig()
+
+    @property
+    def config(self) -> MappingGeneratorConfig:
+        """The generator configuration."""
+        return self._config
+
+    def generate(self, matches: MatchSet, target_schema: Schema, catalog: Catalog, *,
+                 sources: Sequence[str] | None = None) -> list[SchemaMapping]:
+        """All candidate mappings for ``target_schema`` given ``matches``."""
+        config = self._config
+        usable = matches.above(config.match_threshold).for_target(target_schema.name)
+        source_names = list(sources) if sources is not None else usable.source_relations()
+        source_names = [name for name in source_names if name in catalog]
+
+        direct = self._direct_mappings(usable, target_schema, source_names)
+        joins = self._join_mappings(usable, target_schema, catalog, direct)
+        unions = self._union_mappings(target_schema, direct, joins)
+        candidates = [*direct, *joins, *unions]
+        return candidates[:config.max_candidates]
+
+    # -- direct ------------------------------------------------------------------
+
+    def _direct_mappings(self, matches: MatchSet, target_schema: Schema,
+                         source_names: Sequence[str]) -> list[SchemaMapping]:
+        mappings = []
+        for index, source_name in enumerate(sorted(source_names), start=1):
+            best = matches.best_per_target_attribute(source_name, target_schema.name)
+            if not best:
+                continue
+            assignments = tuple(sorted(
+                AttributeAssignment(target_attribute=attr,
+                                    source_relation=source_name,
+                                    source_attribute=correspondence.source_attribute,
+                                    score=correspondence.score)
+                for attr, correspondence in best.items()))
+            mappings.append(SchemaMapping(
+                mapping_id=f"m_direct_{source_name}",
+                target_relation=target_schema.name,
+                kind="direct",
+                sources=(source_name,),
+                assignments=assignments,
+            ))
+        return mappings
+
+    # -- joins ------------------------------------------------------------------------
+
+    def _join_mappings(self, matches: MatchSet, target_schema: Schema, catalog: Catalog,
+                       direct: list[SchemaMapping]) -> list[SchemaMapping]:
+        config = self._config
+        joins = []
+        by_source = {mapping.sources[0]: mapping for mapping in direct}
+        for left_name, right_name in combinations(sorted(by_source), 2):
+            left_mapping = by_source[left_name]
+            right_mapping = by_source[right_name]
+            left_coverage = left_mapping.covered_attributes()
+            right_coverage = right_mapping.covered_attributes()
+            # A join is only interesting when it extends coverage.
+            if right_coverage <= left_coverage and left_coverage <= right_coverage:
+                continue
+            join_key = self._find_join_key(left_mapping, right_mapping, catalog)
+            if join_key is None:
+                continue
+            left_attr, right_attr = join_key
+            driving, other = left_mapping, right_mapping
+            driving_attr, other_attr = left_attr, right_attr
+            # Prefer the source with the larger coverage as the driving side.
+            if len(right_coverage) > len(left_coverage):
+                driving, other = right_mapping, left_mapping
+                driving_attr, other_attr = right_attr, left_attr
+            assignments = dict()
+            for assignment in driving.assignments:
+                assignments[assignment.target_attribute] = assignment
+            for assignment in other.assignments:
+                assignments.setdefault(assignment.target_attribute, assignment)
+            joins.append(SchemaMapping(
+                mapping_id=f"m_join_{driving.sources[0]}_{other.sources[0]}",
+                target_relation=target_schema.name,
+                kind="join",
+                sources=(driving.sources[0], other.sources[0]),
+                assignments=tuple(sorted(assignments.values())),
+                join_conditions=(JoinCondition(driving.sources[0], driving_attr,
+                                               other.sources[0], other_attr),),
+            ))
+        return joins
+
+    def _find_join_key(self, left: SchemaMapping, right: SchemaMapping,
+                       catalog: Catalog) -> tuple[str, str] | None:
+        """The best join-key pair between two direct mappings' sources.
+
+        Candidate keys are pairs of source attributes matched to the *same*
+        target attribute; the pair with the highest value overlap above the
+        threshold wins.
+        """
+        config = self._config
+        left_table = catalog.get(left.sources[0])
+        right_table = catalog.get(right.sources[0])
+        best: tuple[float, str, str] | None = None
+        shared_targets = left.covered_attributes() & right.covered_attributes()
+        for target_attribute in sorted(shared_targets):
+            left_assignment = left.assignment_for(target_attribute)
+            right_assignment = right.assignment_for(target_attribute)
+            if left_assignment is None or right_assignment is None:
+                continue
+            if (left_assignment.source_attribute not in left_table.schema
+                    or right_assignment.source_attribute not in right_table.schema):
+                continue
+            overlap = value_overlap(left_table, left_assignment.source_attribute,
+                                    right_table, right_assignment.source_attribute)
+            if overlap < config.join_overlap_threshold:
+                continue
+            if best is None or overlap > best[0]:
+                best = (overlap, left_assignment.source_attribute,
+                        right_assignment.source_attribute)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- unions --------------------------------------------------------------------------
+
+    def _union_mappings(self, target_schema: Schema, direct: list[SchemaMapping],
+                        joins: list[SchemaMapping]) -> list[SchemaMapping]:
+        unions = []
+        # Union of all direct mappings covering more than one source.
+        if len(direct) >= 2:
+            unions.append(SchemaMapping(
+                mapping_id="m_union_direct",
+                target_relation=target_schema.name,
+                kind="union",
+                children=tuple(direct),
+            ))
+        # Union of join mappings that share the same joined-in source (e.g.
+        # Rightmove⋈Deprivation ∪ Onthemarket⋈Deprivation).
+        if len(joins) >= 2:
+            by_other: dict[str, list[SchemaMapping]] = {}
+            for mapping in joins:
+                other = mapping.sources[1]
+                by_other.setdefault(other, []).append(mapping)
+            for other, group in sorted(by_other.items()):
+                if len(group) >= 2:
+                    unions.append(SchemaMapping(
+                        mapping_id=f"m_union_join_{other}",
+                        target_relation=target_schema.name,
+                        kind="union",
+                        children=tuple(group),
+                    ))
+        # Mixed unions: every direct mapping unioned with every join that
+        # does not already include its source — captures "one source has the
+        # extra attribute, the other does not".
+        for direct_mapping in direct:
+            for join_mapping in joins:
+                if direct_mapping.sources[0] in join_mapping.all_sources():
+                    continue
+                unions.append(SchemaMapping(
+                    mapping_id=f"m_union_{direct_mapping.sources[0]}_"
+                               f"{join_mapping.mapping_id.removeprefix('m_join_')}",
+                    target_relation=target_schema.name,
+                    kind="union",
+                    children=(direct_mapping, join_mapping),
+                ))
+        return unions

@@ -1,0 +1,184 @@
+"""Schema mappings: how source data populates the target schema.
+
+A :class:`SchemaMapping` describes one way of producing the target relation
+from the registered sources. Three kinds are supported, mirroring the
+structures mapping generation discovers in the scenario:
+
+- ``direct`` — project/rename one source onto the target schema;
+- ``join`` — equi-join two (or more) sources, then project onto the target;
+- ``union`` — union the results of child mappings (padding missing target
+  attributes with NULL).
+
+Mappings can also be rendered as Vadalog-lite rules (the paper represents
+schema mappings in Vadalog), which keeps the architecture's "everything is
+expressible in the reasoner's language" story intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["AttributeAssignment", "JoinCondition", "SchemaMapping"]
+
+#: Bookkeeping columns added by mapping execution.
+PROVENANCE_SOURCE = "_source"
+PROVENANCE_ROW_ID = "_row_id"
+
+
+@dataclass(frozen=True, order=True)
+class AttributeAssignment:
+    """``target_attribute`` is populated from ``source_relation.source_attribute``."""
+
+    target_attribute: str
+    source_relation: str
+    source_attribute: str
+    #: Confidence inherited from the correspondence that induced the assignment.
+    score: float = 1.0
+
+    def __str__(self) -> str:
+        return (f"{self.target_attribute} <- "
+                f"{self.source_relation}.{self.source_attribute} ({self.score:.2f})")
+
+
+@dataclass(frozen=True, order=True)
+class JoinCondition:
+    """Equi-join condition between two source relations."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+    def __str__(self) -> str:
+        return (f"{self.left_relation}.{self.left_attribute} = "
+                f"{self.right_relation}.{self.right_attribute}")
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """One candidate mapping from sources to the target relation."""
+
+    mapping_id: str
+    target_relation: str
+    kind: str
+    sources: tuple[str, ...] = ()
+    assignments: tuple[AttributeAssignment, ...] = ()
+    join_conditions: tuple[JoinCondition, ...] = ()
+    children: tuple["SchemaMapping", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("direct", "join", "union"):
+            raise ValueError(f"unknown mapping kind {self.kind!r}")
+        if self.kind == "union" and len(self.children) < 2:
+            raise ValueError("a union mapping needs at least two children")
+        if self.kind == "join" and not self.join_conditions:
+            raise ValueError("a join mapping needs at least one join condition")
+        if self.kind in ("direct", "join") and not self.assignments:
+            raise ValueError(f"a {self.kind} mapping needs at least one assignment")
+
+    # -- structure ----------------------------------------------------------
+
+    def covered_attributes(self) -> set[str]:
+        """Target attributes this mapping can populate."""
+        if self.kind == "union":
+            covered: set[str] = set()
+            for child in self.children:
+                covered |= child.covered_attributes()
+            return covered
+        return {assignment.target_attribute for assignment in self.assignments}
+
+    def all_sources(self) -> set[str]:
+        """Every source relation contributing to this mapping (recursively)."""
+        if self.kind == "union":
+            sources: set[str] = set()
+            for child in self.children:
+                sources |= child.all_sources()
+            return sources
+        return set(self.sources)
+
+    def assignment_for(self, target_attribute: str) -> AttributeAssignment | None:
+        """The assignment populating ``target_attribute`` (None for unions)."""
+        for assignment in self.assignments:
+            if assignment.target_attribute == target_attribute:
+                return assignment
+        return None
+
+    def assignments_for_attribute(self, target_attribute: str) -> list[AttributeAssignment]:
+        """All assignments (across union children) for one target attribute."""
+        if self.kind == "union":
+            found = []
+            for child in self.children:
+                found.extend(child.assignments_for_attribute(target_attribute))
+            return found
+        assignment = self.assignment_for(target_attribute)
+        return [assignment] if assignment else []
+
+    def leaf_mappings(self) -> list["SchemaMapping"]:
+        """The non-union mappings at the leaves of this mapping."""
+        if self.kind == "union":
+            leaves = []
+            for child in self.children:
+                leaves.extend(child.leaf_mappings())
+            return leaves
+        return [self]
+
+    def mean_match_score(self) -> float:
+        """Average correspondence score across all assignments (provenance quality)."""
+        assignments = [a for leaf in self.leaf_mappings() for a in leaf.assignments]
+        if not assignments:
+            return 0.0
+        return sum(a.score for a in assignments) / len(assignments)
+
+    # -- rendering -----------------------------------------------------------------
+
+    def to_vadalog(self, target_attributes: Sequence[str]) -> str:
+        """Render this mapping as Vadalog-lite rules over the source relations.
+
+        Each source relation is treated as a predicate whose argument order
+        follows ``target_attributes`` where matched and fresh variables
+        elsewhere; union mappings render one rule per child.
+        """
+        if self.kind == "union":
+            return "\n".join(child.to_vadalog(target_attributes) for child in self.children)
+        head_terms = []
+        for attribute in target_attributes:
+            assignment = self.assignment_for(attribute)
+            head_terms.append(_variable_for(attribute) if assignment else '"null"')
+        head = f"{self.target_relation}({', '.join(head_terms)})"
+        body_atoms = []
+        for source in self.sources:
+            terms = []
+            for attribute in target_attributes:
+                assignment = self.assignment_for(attribute)
+                if assignment and assignment.source_relation == source:
+                    terms.append(_variable_for(attribute))
+                else:
+                    terms.append("_")
+            body_atoms.append(f"{source}({', '.join(terms)})")
+        for condition in self.join_conditions:
+            # Equi-joins over target variables are implicit through shared
+            # variables; render them as explicit equality for clarity.
+            left = _variable_for(condition.left_attribute)
+            right = _variable_for(condition.right_attribute)
+            if left != right:
+                body_atoms.append(f"{left} = {right}")
+        return f"{head} :- {', '.join(body_atoms)}."
+
+    def describe(self) -> str:
+        """One-line description used in traces and benchmark output."""
+        if self.kind == "union":
+            parts = " UNION ".join(child.mapping_id for child in self.children)
+            return f"{self.mapping_id}: union({parts})"
+        sources = ", ".join(self.sources)
+        coverage = ", ".join(sorted(self.covered_attributes()))
+        joins = f" on {'; '.join(str(c) for c in self.join_conditions)}" if self.join_conditions else ""
+        return f"{self.mapping_id}: {self.kind}({sources}){joins} -> [{coverage}]"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _variable_for(attribute: str) -> str:
+    cleaned = "".join(ch for ch in attribute.title() if ch.isalnum())
+    return cleaned or "X"

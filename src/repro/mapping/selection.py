@@ -1,0 +1,175 @@
+"""Mapping scoring and multi-criteria mapping selection.
+
+Table 1: "Mapping Selection — Quality Metrics". Candidate mappings are
+scored on the four quality criteria by materialising them and evaluating the
+result (against whatever data context is available); selection then combines
+the criterion scores using the weights derived from the user context (AHP)
+— "the pairwise comparisons are used to derive weights that inform the
+selection of mappings based on multi-dimensional optimization" (§3 step 4).
+Without a user context, criteria are weighted uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.mapping.execution import MappingExecutor
+from repro.mapping.model import SchemaMapping
+from repro.quality.cfd_learning import LearnedCFDs
+from repro.quality.metrics import evaluate_quality
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+__all__ = ["MappingScore", "MappingScorer", "SelectionOutcome", "MappingSelector"]
+
+
+@dataclass
+class MappingScore:
+    """Criterion scores for one candidate mapping."""
+
+    mapping_id: str
+    criteria: dict[str, float]
+    row_count: int = 0
+    #: Mean correspondence score of the assignments (provenance confidence).
+    match_confidence: float = 0.0
+
+    def weighted(self, weights: Mapping[str, float] | None = None) -> float:
+        """Weighted overall score; uniform weights when none are supplied."""
+        if not self.criteria:
+            return 0.0
+        if not weights:
+            return sum(self.criteria.values()) / len(self.criteria)
+        total_weight = sum(weights.get(name, 0.0) for name in self.criteria)
+        if total_weight <= 0:
+            return sum(self.criteria.values()) / len(self.criteria)
+        return sum(value * weights.get(name, 0.0)
+                   for name, value in self.criteria.items()) / total_weight
+
+
+class MappingScorer:
+    """Materialises candidate mappings and scores them on the quality criteria."""
+
+    def __init__(self, catalog: Catalog, target_schema: Schema, *,
+                 reference: Table | None = None,
+                 reference_key: Sequence[str] = (),
+                 master: Table | None = None,
+                 master_key: Sequence[str] = (),
+                 learned_cfds: LearnedCFDs | None = None,
+                 feedback_penalties: Mapping[tuple[str, str], float] | None = None,
+                 completeness_weights: Mapping[str, float] | None = None):
+        self._executor = MappingExecutor(catalog)
+        self._target_schema = target_schema
+        self._reference = reference
+        self._reference_key = list(reference_key)
+        self._master = master
+        self._master_key = list(master_key)
+        self._learned_cfds = learned_cfds
+        self._feedback_penalties = dict(feedback_penalties or {})
+        self._completeness_weights = dict(completeness_weights or {})
+
+    def score(self, mapping: SchemaMapping) -> MappingScore:
+        """Score one candidate mapping."""
+        table = self._executor.execute(mapping, self._target_schema,
+                                       result_name=f"__candidate_{mapping.mapping_id}")
+        cfds = self._learned_cfds.cfds if self._learned_cfds else []
+        witnesses = self._learned_cfds.witnesses if self._learned_cfds else {}
+        report = evaluate_quality(
+            table,
+            reference=self._reference,
+            reference_key=self._reference_key,
+            cfds=[cfd for cfd in cfds if cfd.rhs in table.schema],
+            witnesses=witnesses,
+            master=self._master,
+            master_key=self._master_key,
+            completeness_weights=self._completeness_weights or None,
+        )
+        criteria = report.as_dict()
+        criteria["accuracy"] = self._apply_feedback_penalty(
+            mapping, criteria["accuracy"], len(table))
+        return MappingScore(
+            mapping_id=mapping.mapping_id,
+            criteria=criteria,
+            row_count=len(table),
+            match_confidence=mapping.mean_match_score(),
+        )
+
+    def score_all(self, mappings: Sequence[SchemaMapping]) -> dict[str, MappingScore]:
+        """Score every candidate."""
+        return {mapping.mapping_id: self.score(mapping) for mapping in mappings}
+
+    def _apply_feedback_penalty(self, mapping: SchemaMapping, accuracy: float,
+                                row_count: int) -> float:
+        """Blend reference-based accuracy with feedback-observed error rates.
+
+        ``feedback_penalties`` maps ``(source_relation, target_attribute)`` to
+        ``{"error_rate": …, "annotations": …}`` as published by the feedback
+        assimilator. The observed signal is weighted by how much of the
+        mapping's output the annotations actually cover, so a handful of
+        (possibly targeted, hence biased) annotations nudge the estimate
+        rather than dominating it.
+        """
+        if not self._feedback_penalties:
+            return accuracy
+        rates = []
+        annotations = 0.0
+        for leaf in mapping.leaf_mappings():
+            for assignment in leaf.assignments:
+                key = (assignment.source_relation, assignment.target_attribute)
+                entry = self._feedback_penalties.get(key)
+                if entry is None:
+                    continue
+                rates.append(float(entry.get("error_rate", 0.0)))
+                annotations += float(entry.get("annotations", 0.0))
+        if not rates:
+            return accuracy
+        observed_accuracy = 1.0 - sum(rates) / len(rates)
+        weight = min(1.0, annotations / max(1.0, float(row_count)))
+        return (1.0 - weight) * accuracy + weight * observed_accuracy
+
+
+@dataclass
+class SelectionOutcome:
+    """The result of mapping selection."""
+
+    ranking: list[tuple[str, float]]
+    scores: dict[str, MappingScore]
+    weights: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_mapping_id(self) -> str:
+        """The identifier of the winning mapping."""
+        if not self.ranking:
+            raise ValueError("selection produced an empty ranking")
+        return self.ranking[0][0]
+
+    @property
+    def best_score(self) -> float:
+        """The winning weighted score."""
+        return self.ranking[0][1]
+
+
+class MappingSelector:
+    """Ranks candidate mappings by weighted criterion scores."""
+
+    def __init__(self, *, tie_break_by_confidence: bool = True):
+        self._tie_break_by_confidence = tie_break_by_confidence
+
+    def select(self, scores: Mapping[str, MappingScore],
+               weights: Mapping[str, float] | None = None) -> SelectionOutcome:
+        """Rank mappings; the first entry of the ranking is the selected one."""
+        if not scores:
+            raise ValueError("cannot select from an empty candidate set")
+        weighted: list[tuple[str, float]] = []
+        for mapping_id, score in scores.items():
+            weighted.append((mapping_id, score.weighted(weights)))
+
+        def sort_key(item: tuple[str, float]):
+            mapping_id, value = item
+            confidence = scores[mapping_id].match_confidence if self._tie_break_by_confidence else 0.0
+            return (-round(value, 9), -round(confidence, 9), mapping_id)
+
+        ranking = sorted(weighted, key=sort_key)
+        return SelectionOutcome(ranking=ranking, scores=dict(scores),
+                                weights=dict(weights or {}))

@@ -1,0 +1,45 @@
+"""Schema and instance matching components."""
+
+from repro.matching.correspondence import Correspondence, MatchSet
+from repro.matching.instance_matching import InstanceMatcher, InstanceMatcherConfig
+from repro.matching.schema_matching import SchemaMatcher, SchemaMatcherConfig
+from repro.matching.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    name_similarity,
+    ngram_similarity,
+    ngrams,
+    normalise_name,
+    numeric_overlap,
+    token_set_similarity,
+)
+from repro.matching.transducers import InstanceMatchingTransducer, SchemaMatchingTransducer
+
+__all__ = [
+    "Correspondence",
+    "MatchSet",
+    "SchemaMatcher",
+    "SchemaMatcherConfig",
+    "InstanceMatcher",
+    "InstanceMatcherConfig",
+    "SchemaMatchingTransducer",
+    "InstanceMatchingTransducer",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "ngrams",
+    "ngram_similarity",
+    "jaccard_similarity",
+    "dice_similarity",
+    "cosine_similarity",
+    "token_set_similarity",
+    "normalise_name",
+    "name_similarity",
+    "numeric_overlap",
+]

@@ -1,0 +1,161 @@
+"""Attribute correspondences: the output of matching components.
+
+A :class:`Correspondence` links one source attribute to one target attribute
+with a confidence score. A :class:`MatchSet` collects correspondences, keeps
+only the best score per attribute pair, and converts to/from the knowledge
+base's ``match`` facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.facts import Predicates, match_fact
+from repro.core.knowledge_base import KnowledgeBase
+
+__all__ = ["Correspondence", "MatchSet"]
+
+
+@dataclass(frozen=True, order=True)
+class Correspondence:
+    """One candidate attribute-level match with a confidence score."""
+
+    source_relation: str
+    source_attribute: str
+    target_relation: str
+    target_attribute: str
+    score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"correspondence score must be in [0, 1], got {self.score}")
+
+    @property
+    def pair(self) -> tuple[str, str, str, str]:
+        """The attribute pair without the score (identity of the match)."""
+        return (self.source_relation, self.source_attribute,
+                self.target_relation, self.target_attribute)
+
+    def with_score(self, score: float) -> "Correspondence":
+        """A copy with a revised score (clamped to [0, 1])."""
+        clamped = min(1.0, max(0.0, score))
+        return Correspondence(self.source_relation, self.source_attribute,
+                              self.target_relation, self.target_attribute, clamped)
+
+    def to_fact(self) -> tuple[str, tuple]:
+        """Render as a ``match`` KB fact."""
+        return match_fact(self.source_relation, self.source_attribute,
+                          self.target_relation, self.target_attribute, self.score)
+
+    def __str__(self) -> str:
+        return (f"{self.source_relation}.{self.source_attribute} ~ "
+                f"{self.target_relation}.{self.target_attribute} ({self.score:.2f})")
+
+
+class MatchSet:
+    """A deduplicated collection of correspondences (best score wins)."""
+
+    def __init__(self, correspondences: Iterable[Correspondence] = ()):
+        self._by_pair: dict[tuple[str, str, str, str], Correspondence] = {}
+        for correspondence in correspondences:
+            self.add(correspondence)
+
+    def add(self, correspondence: Correspondence, *, combine: str = "max") -> None:
+        """Add a correspondence; on conflict keep max/mean of the scores."""
+        existing = self._by_pair.get(correspondence.pair)
+        if existing is None:
+            self._by_pair[correspondence.pair] = correspondence
+            return
+        if combine == "max":
+            score = max(existing.score, correspondence.score)
+        elif combine == "mean":
+            score = (existing.score + correspondence.score) / 2.0
+        elif combine == "replace":
+            score = correspondence.score
+        else:
+            raise ValueError(f"unknown combine mode {combine!r}")
+        self._by_pair[correspondence.pair] = existing.with_score(score)
+
+    def merge(self, other: "MatchSet", *, combine: str = "max") -> "MatchSet":
+        """Combine two match sets into a new one."""
+        merged = MatchSet(self)
+        for correspondence in other:
+            merged.add(correspondence, combine=combine)
+        return merged
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(sorted(self._by_pair.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._by_pair
+
+    def get(self, pair: tuple[str, str, str, str]) -> Correspondence | None:
+        """Look up a correspondence by its attribute pair."""
+        return self._by_pair.get(pair)
+
+    # -- filtering / views ---------------------------------------------------
+
+    def above(self, threshold: float) -> "MatchSet":
+        """Correspondences with score >= threshold."""
+        return MatchSet(c for c in self if c.score >= threshold)
+
+    def for_source(self, source_relation: str) -> "MatchSet":
+        """Correspondences originating from one source relation."""
+        return MatchSet(c for c in self if c.source_relation == source_relation)
+
+    def for_target(self, target_relation: str) -> "MatchSet":
+        """Correspondences into one target relation."""
+        return MatchSet(c for c in self if c.target_relation == target_relation)
+
+    def best_per_target_attribute(self, source_relation: str,
+                                  target_relation: str) -> dict[str, Correspondence]:
+        """For one source/target pair, the best correspondence per target attribute."""
+        best: dict[str, Correspondence] = {}
+        for correspondence in self:
+            if (correspondence.source_relation != source_relation
+                    or correspondence.target_relation != target_relation):
+                continue
+            current = best.get(correspondence.target_attribute)
+            if current is None or correspondence.score > current.score:
+                best[correspondence.target_attribute] = correspondence
+        return best
+
+    def source_relations(self) -> list[str]:
+        """All source relations with at least one correspondence."""
+        return sorted({c.source_relation for c in self})
+
+    # -- knowledge base interaction ----------------------------------------------
+
+    def assert_into(self, kb: KnowledgeBase, *, replace: bool = False) -> int:
+        """Assert all correspondences as ``match`` facts.
+
+        With ``replace`` the existing match facts for the affected
+        source/target relation pairs are removed first (used when matching
+        re-runs with better information).
+        """
+        if replace:
+            pairs = {(c.source_relation, c.target_relation) for c in self}
+            for source_relation, target_relation in pairs:
+                for row in list(kb.facts(Predicates.MATCH)):
+                    if row[0] == source_relation and row[2] == target_relation:
+                        kb.retract_fact(Predicates.MATCH, *row)
+        return sum(int(kb.assert_tuple(c.to_fact())) for c in self)
+
+    @classmethod
+    def from_kb(cls, kb: KnowledgeBase, *, target_relation: str | None = None) -> "MatchSet":
+        """Load the current ``match`` facts from the knowledge base."""
+        matches = cls()
+        for row in kb.facts(Predicates.MATCH):
+            source_relation, source_attribute, tgt_relation, target_attribute, score = row
+            if target_relation is not None and tgt_relation != target_relation:
+                continue
+            matches.add(Correspondence(source_relation, source_attribute,
+                                       tgt_relation, target_attribute, float(score)))
+        return matches
+
+    def __repr__(self) -> str:
+        return f"MatchSet(correspondences={len(self._by_pair)})"

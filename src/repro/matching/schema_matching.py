@@ -1,0 +1,84 @@
+"""Schema-level matching: attribute-name and type based correspondences.
+
+This is the matcher that runs during automatic bootstrapping (demo step 1):
+it only needs the source and target *schemas* (Table 1: "Schema Matching —
+Src/Target Schemas"), so it can run before any instances or context data are
+available. Scores combine name similarity with a type-compatibility factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.correspondence import Correspondence, MatchSet
+from repro.matching.similarity import name_similarity
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+__all__ = ["SchemaMatcherConfig", "SchemaMatcher"]
+
+
+@dataclass(frozen=True)
+class SchemaMatcherConfig:
+    """Tuning knobs of the schema matcher."""
+
+    #: Correspondences scoring below this are discarded.
+    threshold: float = 0.5
+    #: Weight of the name-similarity component (the rest is type compatibility).
+    name_weight: float = 0.85
+    #: Score multiplier applied when declared types are incompatible.
+    type_mismatch_penalty: float = 0.6
+
+
+class SchemaMatcher:
+    """Produces attribute correspondences from schema metadata alone."""
+
+    def __init__(self, config: SchemaMatcherConfig | None = None):
+        self._config = config or SchemaMatcherConfig()
+
+    @property
+    def config(self) -> SchemaMatcherConfig:
+        """The matcher configuration."""
+        return self._config
+
+    def match(self, source: Schema, target: Schema) -> MatchSet:
+        """All correspondences between ``source`` and ``target`` above threshold."""
+        matches = MatchSet()
+        for source_attribute in source.attributes:
+            for target_attribute in target.attributes:
+                score = self.score(source_attribute.name, source_attribute.dtype,
+                                   target_attribute.name, target_attribute.dtype)
+                if score >= self._config.threshold:
+                    matches.add(Correspondence(
+                        source.name, source_attribute.name,
+                        target.name, target_attribute.name, round(score, 6)))
+        return matches
+
+    def match_many(self, sources: list[Schema], target: Schema) -> MatchSet:
+        """Match several source schemas against one target schema."""
+        matches = MatchSet()
+        for source in sources:
+            matches = matches.merge(self.match(source, target))
+        return matches
+
+    def score(self, source_name: str, source_type: DataType,
+              target_name: str, target_type: DataType) -> float:
+        """Score one attribute pair from names and declared types."""
+        name_score = name_similarity(source_name, target_name)
+        type_score = self._type_compatibility(source_type, target_type)
+        weight = self._config.name_weight
+        combined = weight * name_score + (1.0 - weight) * type_score
+        if type_score == 0.0:
+            combined *= self._config.type_mismatch_penalty
+        return min(1.0, combined)
+
+    @staticmethod
+    def _type_compatibility(source_type: DataType, target_type: DataType) -> float:
+        if source_type is DataType.ANY or target_type is DataType.ANY:
+            return 0.5
+        if source_type is target_type:
+            return 1.0
+        numeric = {DataType.INTEGER, DataType.FLOAT}
+        if source_type in numeric and target_type in numeric:
+            return 0.9
+        return 0.0

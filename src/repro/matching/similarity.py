@@ -1,0 +1,270 @@
+"""String and value-set similarity measures used by the matchers.
+
+All measures return a score in [0, 1] where 1 means identical. They are the
+primitives behind schema matching (attribute-name similarity), instance
+matching (value-overlap similarity) and duplicate detection (record
+similarity).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "ngrams",
+    "ngram_similarity",
+    "jaccard_similarity",
+    "dice_similarity",
+    "cosine_similarity",
+    "token_set_similarity",
+    "normalise_name",
+    "name_similarity",
+    "numeric_overlap",
+]
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic edit distance (insertions, deletions, substitutions)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner loop for memory locality.
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (0 if left_char == right_char else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Edit distance normalised to [0, 1]."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity (transposition-aware)."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matches = [False] * len(left)
+    right_matches = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(right))
+        for j in range(start, end):
+            if right_matches[j] or right[j] != char:
+                continue
+            left_matches[i] = True
+            right_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matches):
+        if not matched:
+            continue
+        while not right_matches[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (matches / len(left) + matches / len(right)
+            + (matches - transpositions) / matches) / 3.0
+
+
+def jaro_winkler_similarity(left: str, right: str, *, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler: Jaro boosted by the length of the common prefix."""
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for left_char, right_char in zip(left[:4], right[:4]):
+        if left_char != right_char:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def ngrams(text: str, size: int = 3) -> list[str]:
+    """Character n-grams of ``text`` with boundary padding."""
+    if size <= 0:
+        raise ValueError("n-gram size must be positive")
+    padded = f"{'#' * (size - 1)}{text}{'#' * (size - 1)}"
+    if len(padded) < size:
+        return [padded]
+    return [padded[i:i + size] for i in range(len(padded) - size + 1)]
+
+
+def ngram_similarity(left: str, right: str, *, size: int = 3) -> float:
+    """Dice coefficient over character n-grams."""
+    if not left and not right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    left_grams = Counter(ngrams(left, size))
+    right_grams = Counter(ngrams(right, size))
+    overlap = sum((left_grams & right_grams).values())
+    total = sum(left_grams.values()) + sum(right_grams.values())
+    return 2.0 * overlap / total if total else 0.0
+
+
+def jaccard_similarity(left: Iterable, right: Iterable) -> float:
+    """|A ∩ B| / |A ∪ B| over arbitrary hashable items."""
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    union = left_set | right_set
+    if not union:
+        return 1.0
+    return len(left_set & right_set) / len(union)
+
+
+def dice_similarity(left: Iterable, right: Iterable) -> float:
+    """2|A ∩ B| / (|A| + |B|) over arbitrary hashable items."""
+    left_set, right_set = set(left), set(right)
+    total = len(left_set) + len(right_set)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(left_set & right_set) / total
+
+
+def cosine_similarity(left: Iterable, right: Iterable) -> float:
+    """Cosine similarity over item multisets (bag-of-tokens)."""
+    left_counts, right_counts = Counter(left), Counter(right)
+    if not left_counts and not right_counts:
+        return 1.0
+    if not left_counts or not right_counts:
+        return 0.0
+    dot = sum(left_counts[token] * right_counts.get(token, 0) for token in left_counts)
+    left_norm = math.sqrt(sum(v * v for v in left_counts.values()))
+    right_norm = math.sqrt(sum(v * v for v in right_counts.values()))
+    if left_norm == 0 or right_norm == 0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def _tokens(text: str) -> list[str]:
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def token_set_similarity(left: str, right: str) -> float:
+    """Jaccard similarity over word tokens."""
+    return jaccard_similarity(_tokens(left), _tokens(right))
+
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_ALNUM = re.compile(r"[^a-z0-9]+")
+
+#: Common attribute-name abbreviations expanded during normalisation.
+_ABBREVIATIONS = {
+    "desc": "description",
+    "descr": "description",
+    "num": "number",
+    "no": "number",
+    "addr": "address",
+    "str": "street",
+    "pc": "postcode",
+    "zip": "postcode",
+    "zipcode": "postcode",
+    "beds": "bedrooms",
+    "bed": "bedrooms",
+    "br": "bedrooms",
+    "qty": "quantity",
+    "amt": "amount",
+    "avg": "average",
+}
+
+
+def normalise_name(name: str) -> str:
+    """Normalise an attribute/relation name for comparison.
+
+    Splits camelCase, lowers case, strips punctuation and expands common
+    abbreviations, so that ``propertyType``, ``property_type`` and
+    ``PROPERTY TYPE`` all normalise identically.
+    """
+    spaced = _CAMEL_BOUNDARY.sub(" ", name)
+    lowered = spaced.lower()
+    cleaned = _NON_ALNUM.sub(" ", lowered).strip()
+    tokens = [
+        _ABBREVIATIONS.get(token, token)
+        for token in cleaned.split()
+    ]
+    return " ".join(tokens)
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Composite attribute-name similarity used by the schema matcher.
+
+    The maximum of normalised-equality, token overlap, trigram and
+    Jaro–Winkler similarity over the normalised names. Taking the maximum
+    makes the measure robust to both abbreviation (token overlap catches
+    ``bedrooms`` vs ``beds``) and typos (edit-based measures catch those).
+    """
+    left_norm = normalise_name(left)
+    right_norm = normalise_name(right)
+    if not left_norm or not right_norm:
+        return 0.0
+    if left_norm == right_norm:
+        return 1.0
+    best = max(
+        token_set_similarity(left_norm, right_norm),
+        ngram_similarity(left_norm, right_norm),
+    )
+    # Edit-based similarity is only trusted when it is strong: moderate
+    # Jaro–Winkler scores between unrelated short names (e.g. "price" vs
+    # "crimerank") are noise, but high scores reliably indicate typos or
+    # shared prefixes ("crime" vs "crimerank").
+    edit_based = jaro_winkler_similarity(left_norm, right_norm)
+    if edit_based >= 0.8:
+        best = max(best, edit_based)
+    return best
+
+
+def numeric_overlap(left: Sequence[float], right: Sequence[float]) -> float:
+    """Range-overlap similarity of two numeric value samples.
+
+    The ratio of the overlapping range to the combined range, which is a
+    cheap distributional signal for instance matching of numeric columns
+    (prices overlap with prices, bedrooms with bedrooms).
+    """
+    left_values = [v for v in left if v is not None]
+    right_values = [v for v in right if v is not None]
+    if not left_values or not right_values:
+        return 0.0
+    left_low, left_high = min(left_values), max(left_values)
+    right_low, right_high = min(right_values), max(right_values)
+    overlap = min(left_high, right_high) - max(left_low, right_low)
+    if overlap <= 0:
+        return 0.0
+    combined = max(left_high, right_high) - min(left_low, right_low)
+    if combined <= 0:
+        return 1.0
+    return overlap / combined

@@ -1,0 +1,106 @@
+"""Matching transducers (Table 1 rows "Schema Matching" / "Instance Matching").
+
+- :class:`SchemaMatchingTransducer` needs source and target *schemas*.
+- :class:`InstanceMatchingTransducer` needs source *instances* plus instances
+  associated with the target schema — which arrive via the data context.
+
+Both assert ``match`` facts; instance-level evidence is merged with (and can
+override) the purely name-based scores, which is how providing a data
+context improves the downstream mappings.
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.matching.correspondence import Correspondence, MatchSet
+from repro.matching.instance_matching import InstanceMatcher, InstanceMatcherConfig
+from repro.matching.schema_matching import SchemaMatcher, SchemaMatcherConfig
+
+__all__ = ["SchemaMatchingTransducer", "InstanceMatchingTransducer"]
+
+
+class SchemaMatchingTransducer(Transducer):
+    """Name/type-based matching; runnable as soon as both schemas are known."""
+
+    name = "schema_matching"
+    activity = Activity.MATCHING
+    priority = 20
+    input_dependencies = (
+        "schema(S, source)",
+        "schema(T, target)",
+    )
+
+    def __init__(self, config: SchemaMatcherConfig | None = None):
+        super().__init__()
+        self._matcher = SchemaMatcher(config)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        sources = [kb.schema_of(name) for name in
+                   sorted(row[0] for row in kb.facts(Predicates.SCHEMA)
+                          if row[1] == Predicates.ROLE_SOURCE)]
+        targets = [kb.schema_of(name) for name in kb.target_relations()]
+        matches = MatchSet()
+        for target in targets:
+            matches = matches.merge(self._matcher.match_many(sources, target))
+        added = matches.assert_into(kb)
+        return TransducerResult(
+            facts_added=added,
+            notes=f"{len(matches)} schema-level correspondences "
+                  f"({len(sources)} sources x {len(targets)} targets)",
+            details={"correspondences": [str(c) for c in matches]},
+        )
+
+
+class InstanceMatchingTransducer(Transducer):
+    """Value-overlap matching; runnable once target-side instances exist.
+
+    Target-side instances come from the data context (reference, master or
+    example data associated with the target schema), so this transducer's
+    dependencies reference the ``data_context`` predicate — it stays dormant
+    during bootstrapping and wakes up at demo step 2.
+    """
+
+    name = "instance_matching"
+    activity = Activity.MATCHING
+    priority = 10
+    input_dependencies = (
+        "dataset(S, source, N)",
+        "data_context(C, K, T)",
+    )
+
+    def __init__(self, config: InstanceMatcherConfig | None = None):
+        super().__init__()
+        self._matcher = InstanceMatcher(config)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        context_bindings = kb.facts(Predicates.DATA_CONTEXT)
+        source_names = kb.source_relations()
+        matches = MatchSet()
+        compared = 0
+        for context_name, _kind, target_relation in context_bindings:
+            if not kb.has_table(context_name):
+                continue
+            context_table = kb.get_table(context_name)
+            for source_name in source_names:
+                source_table = kb.get_table(source_name)
+                found = self._matcher.match(source_table, context_table,
+                                            target_relation=target_relation)
+                compared += 1
+                # Only keep matches whose target attribute exists in the
+                # target schema (context tables may carry extra attributes).
+                target_schema = kb.schema_of(target_relation)
+                for correspondence in found:
+                    if correspondence.target_attribute in target_schema:
+                        matches.add(correspondence)
+        # Instance evidence refines the existing name-based scores: merge max.
+        existing = MatchSet.from_kb(kb)
+        merged = existing.merge(matches, combine="max")
+        added = merged.assert_into(kb)
+        return TransducerResult(
+            facts_added=added,
+            notes=f"{len(matches)} instance-level correspondences from "
+                  f"{compared} source/context comparisons",
+            details={"correspondences": [str(c) for c in matches]},
+        )

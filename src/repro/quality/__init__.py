@@ -1,0 +1,65 @@
+"""Data quality: profiling, CFDs, metrics and repair."""
+
+from repro.quality.cfd import CFD, WILDCARD, Violation, find_violations
+from repro.quality.cfd_learning import CFDLearner, CFDLearnerConfig, LearnedCFDs, build_witness
+from repro.quality.metrics import (
+    QualityReport,
+    accuracy_against_reference,
+    attribute_accuracy,
+    attribute_completeness,
+    consistency,
+    evaluate_quality,
+    relevance,
+    table_completeness,
+)
+from repro.quality.profiling import (
+    ColumnProfile,
+    candidate_keys,
+    discover_functional_dependencies,
+    functional_dependency_confidence,
+    inclusion_dependency_coverage,
+    profile_column,
+    profile_table,
+    value_overlap,
+)
+from repro.quality.repair import CFDRepairer, RepairAction, RepairResult
+from repro.quality.transducers import (
+    CFD_ARTIFACT_KEY,
+    CFDLearningTransducer,
+    DataRepairTransducer,
+    QualityMetricTransducer,
+)
+
+__all__ = [
+    "CFD",
+    "WILDCARD",
+    "Violation",
+    "find_violations",
+    "CFDLearner",
+    "CFDLearnerConfig",
+    "LearnedCFDs",
+    "build_witness",
+    "CFDRepairer",
+    "RepairAction",
+    "RepairResult",
+    "QualityReport",
+    "evaluate_quality",
+    "attribute_completeness",
+    "table_completeness",
+    "accuracy_against_reference",
+    "attribute_accuracy",
+    "consistency",
+    "relevance",
+    "ColumnProfile",
+    "profile_column",
+    "profile_table",
+    "candidate_keys",
+    "functional_dependency_confidence",
+    "discover_functional_dependencies",
+    "inclusion_dependency_coverage",
+    "value_overlap",
+    "CFDLearningTransducer",
+    "QualityMetricTransducer",
+    "DataRepairTransducer",
+    "CFD_ARTIFACT_KEY",
+]

@@ -1,0 +1,186 @@
+"""Learning CFDs from data-context reference data.
+
+Table 1: "CFD Learning — Data Examples". The paper's scenario learns CFDs
+from an open-government address list so that "the consistency of the address
+information within the property table can be established" and repairs can be
+carried out on mapping results.
+
+The learner searches for approximate FDs in the reference table, keeps those
+above a confidence threshold as *variable* CFDs (with witness indexes built
+from the reference data), and additionally emits high-support *constant*
+pattern CFDs for frequent LHS values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.quality.cfd import WILDCARD, CFD
+from repro.quality.profiling import discover_functional_dependencies
+from repro.relational.keys import normalise_key_tuple
+from repro.relational.table import Table
+from repro.relational.types import is_null
+
+__all__ = ["CFDLearnerConfig", "LearnedCFDs", "CFDLearner", "build_witness"]
+
+
+@dataclass(frozen=True)
+class CFDLearnerConfig:
+    """Tuning knobs of the CFD learner."""
+
+    #: Minimum confidence for an approximate FD to be kept.
+    min_confidence: float = 0.95
+    #: Maximum number of LHS attributes explored.
+    max_lhs_size: int = 2
+    #: Minimum number of reference tuples sharing an LHS value for a
+    #: constant pattern to be emitted.
+    min_constant_support: int = 25
+    #: Maximum number of constant-pattern CFDs emitted per dependency.
+    max_constant_patterns: int = 20
+
+
+@dataclass
+class LearnedCFDs:
+    """The learner's output: dependencies plus their witness indexes."""
+
+    cfds: list[CFD]
+    #: cfd_id → (LHS values → expected RHS value), for variable CFDs.
+    witnesses: dict[str, dict[tuple, Any]]
+
+    def __len__(self) -> int:
+        return len(self.cfds)
+
+    def variable_cfds(self) -> list[CFD]:
+        """Only the variable (wildcard-RHS) dependencies."""
+        return [cfd for cfd in self.cfds if cfd.is_variable]
+
+    def constant_cfds(self) -> list[CFD]:
+        """Only the constant-pattern dependencies."""
+        return [cfd for cfd in self.cfds if cfd.is_constant]
+
+
+class CFDLearner:
+    """Learns CFDs from one reference table."""
+
+    def __init__(self, config: CFDLearnerConfig | None = None):
+        self._config = config or CFDLearnerConfig()
+
+    @property
+    def config(self) -> CFDLearnerConfig:
+        """The learner configuration."""
+        return self._config
+
+    def learn(self, reference: Table, *, target_relation: str | None = None,
+              attribute_map: Mapping[str, str] | None = None) -> LearnedCFDs:
+        """Learn CFDs from ``reference``.
+
+        ``target_relation`` / ``attribute_map`` translate the dependencies to
+        the target schema's relation and attribute names (the reference table
+        may use its own naming, e.g. ``Address.city`` has no counterpart in
+        the target).  Attributes without a translation are kept only if the
+        map is empty; otherwise dependencies touching unmapped attributes are
+        dropped.
+        """
+        relation = target_relation or reference.name
+        rename = dict(attribute_map or {})
+        config = self._config
+        discovered = discover_functional_dependencies(
+            reference, min_confidence=config.min_confidence, max_lhs_size=config.max_lhs_size)
+
+        cfds: list[CFD] = []
+        witnesses: dict[str, dict[tuple, Any]] = {}
+        counter = 0
+        for lhs, rhs, confidence in discovered:
+            if rename:
+                if rhs not in rename or any(a not in rename for a in lhs):
+                    continue
+                mapped_lhs = tuple(rename[a] for a in lhs)
+                mapped_rhs = rename[rhs]
+            else:
+                mapped_lhs, mapped_rhs = tuple(lhs), rhs
+            counter += 1
+            cfd_id = f"cfd_{relation}_{counter}"
+            support = self._fd_support(reference, lhs)
+            variable = CFD(
+                cfd_id=cfd_id,
+                relation=relation,
+                lhs=mapped_lhs,
+                rhs=mapped_rhs,
+                rhs_pattern=WILDCARD,
+                support=support,
+                confidence=confidence,
+            )
+            cfds.append(variable)
+            witnesses[cfd_id] = build_witness(reference, lhs, rhs)
+            cfds.extend(self._constant_patterns(reference, lhs, rhs, relation,
+                                                mapped_lhs, mapped_rhs, cfd_id))
+        return LearnedCFDs(cfds=cfds, witnesses=witnesses)
+
+    def _constant_patterns(self, reference: Table, lhs: tuple[str, ...], rhs: str,
+                           relation: str, mapped_lhs: tuple[str, ...], mapped_rhs: str,
+                           parent_id: str) -> list[CFD]:
+        """Emit constant-pattern CFDs for frequent LHS value combinations."""
+        config = self._config
+        groups: dict[tuple, dict[Any, int]] = defaultdict(lambda: defaultdict(int))
+        lhs_positions = [reference.schema.position(a) for a in lhs]
+        rhs_position = reference.schema.position(rhs)
+        for values in reference.tuples():
+            key = tuple(values[p] for p in lhs_positions)
+            value = values[rhs_position]
+            if any(is_null(part) for part in key) or is_null(value):
+                continue
+            groups[key][value] += 1
+        total_rows = max(1, len(reference))
+        frequent = sorted(
+            ((key, counts) for key, counts in groups.items()
+             if sum(counts.values()) >= config.min_constant_support),
+            key=lambda item: -sum(item[1].values()))
+        patterns: list[CFD] = []
+        for index, (key, counts) in enumerate(frequent[:config.max_constant_patterns], start=1):
+            expected, expected_count = max(counts.items(), key=lambda item: item[1])
+            group_size = sum(counts.values())
+            patterns.append(CFD(
+                cfd_id=f"{parent_id}_const{index}",
+                relation=relation,
+                lhs=mapped_lhs,
+                rhs=mapped_rhs,
+                lhs_pattern=tuple(zip(mapped_lhs, key)),
+                rhs_pattern=expected,
+                support=group_size / total_rows,
+                confidence=expected_count / group_size,
+            ))
+        return patterns
+
+    @staticmethod
+    def _fd_support(reference: Table, lhs: tuple[str, ...]) -> float:
+        """Fraction of reference rows with a fully non-null LHS."""
+        positions = [reference.schema.position(a) for a in lhs]
+        if not len(reference):
+            return 0.0
+        supported = sum(
+            1 for values in reference.tuples()
+            if not any(is_null(values[p]) for p in positions))
+        return supported / len(reference)
+
+
+def build_witness(reference: Table, lhs: tuple[str, ...] | list[str], rhs: str
+                  ) -> dict[tuple, Any]:
+    """Build a witness index (LHS values → majority RHS value) from reference data.
+
+    LHS keys are normalised (:func:`repro.relational.keys.normalise_key_tuple`)
+    so that format drift in the checked data ("m1 1aa") still finds the
+    reference entry ("M1 1AA").
+    """
+    groups: dict[tuple, dict[Any, int]] = defaultdict(lambda: defaultdict(int))
+    lhs_positions = [reference.schema.position(a) for a in lhs]
+    rhs_position = reference.schema.position(rhs)
+    for values in reference.tuples():
+        key = normalise_key_tuple(values[p] for p in lhs_positions)
+        value = values[rhs_position]
+        if any(part is None for part in key) or is_null(value):
+            continue
+        groups[key][value] += 1
+    return {key: max(counts.items(), key=lambda item: item[1])[0]
+            for key, counts in groups.items()}

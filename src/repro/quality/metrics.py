@@ -1,0 +1,244 @@
+"""Quality metrics: completeness, accuracy, consistency, relevance.
+
+Paper §2.3: "the completeness of the crimerank attribute can be estimated as
+the fraction of non-null values", while "determining the consistency of the
+property table needs additional information" — CFDs learned from reference
+data. Accuracy is measured against reference/master/ground-truth data, and
+relevance as coverage of the entities the user cares about (master data).
+
+All metrics return values in [0, 1]; higher is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.quality.cfd import CFD, find_violations
+from repro.relational.keys import normalise_key, normalise_key_tuple
+from repro.relational.table import Table
+from repro.relational.types import is_null
+
+__all__ = [
+    "attribute_completeness",
+    "table_completeness",
+    "accuracy_against_reference",
+    "attribute_accuracy",
+    "consistency",
+    "relevance",
+    "QualityReport",
+    "evaluate_quality",
+]
+
+
+def attribute_completeness(table: Table, attribute: str) -> float:
+    """Fraction of non-null values in one attribute."""
+    if len(table) == 0:
+        return 0.0
+    return 1.0 - table.null_count(attribute) / len(table)
+
+
+def table_completeness(table: Table, attributes: Sequence[str] | None = None,
+                       weights: Mapping[str, float] | None = None) -> float:
+    """(Weighted) mean completeness over ``attributes``.
+
+    By default all attributes are considered except bookkeeping columns
+    (names starting with ``_``, e.g. the provenance/row-id columns added by
+    mapping execution).
+    """
+    if attributes is not None:
+        names = list(attributes)
+    else:
+        names = [n for n in table.schema.attribute_names if not n.startswith("_")]
+    if not names:
+        return 0.0
+    if weights:
+        total_weight = sum(weights.get(name, 0.0) for name in names)
+        if total_weight > 0:
+            return sum(attribute_completeness(table, name) * weights.get(name, 0.0)
+                       for name in names) / total_weight
+    return sum(attribute_completeness(table, name) for name in names) / len(names)
+
+
+def accuracy_against_reference(table: Table, reference: Table, key: Sequence[str],
+                               attributes: Sequence[str] | None = None) -> float:
+    """Fraction of checked cells agreeing with ``reference``.
+
+    Rows are joined to the reference on ``key``; for each joined row, each of
+    ``attributes`` (default: all shared non-key attributes) is compared.
+    Cells whose key has no reference counterpart are not counted (accuracy
+    measures correctness of what can be checked, completeness handles
+    missingness).
+    """
+    shared = [name for name in table.schema.attribute_names
+              if name in reference.schema and name not in key and not name.startswith("_")]
+    names = [name for name in (attributes if attributes is not None else shared)
+             if name in reference.schema]
+    if not names:
+        return 0.0
+    reference_index: dict[tuple, dict[str, Any]] = {}
+    for row in reference.rows():
+        index_key = normalise_key_tuple(row[k] for k in key)
+        if any(part is None for part in index_key):
+            continue
+        reference_index.setdefault(index_key, row.to_dict())
+    checked = 0
+    correct = 0
+    for row in table.rows():
+        index_key = normalise_key_tuple(row.get(k) for k in key)
+        if any(part is None for part in index_key):
+            continue
+        expected = reference_index.get(index_key)
+        if expected is None:
+            continue
+        for name in names:
+            expected_value = expected.get(name)
+            if is_null(expected_value):
+                continue
+            actual = row.get(name)
+            if is_null(actual):
+                # Missing values are completeness's concern, not accuracy's.
+                continue
+            checked += 1
+            if _cell_equal(actual, expected_value):
+                correct += 1
+    if checked == 0:
+        return 0.0
+    return correct / checked
+
+
+def attribute_accuracy(table: Table, reference: Table, key: Sequence[str],
+                       attribute: str) -> float:
+    """Accuracy of a single attribute against reference data."""
+    return accuracy_against_reference(table, reference, key, [attribute])
+
+
+def consistency(table: Table, cfds: Iterable[CFD], *,
+                witnesses: Mapping[str, Mapping[tuple, Any]] | None = None) -> float:
+    """1 − (violating cells / checkable cells) for the given CFDs."""
+    cfd_list = list(cfds)
+    if not cfd_list or len(table) == 0:
+        return 1.0
+    checkable = 0
+    for cfd in cfd_list:
+        for row in table.rows():
+            if cfd.applies_to(row):
+                checkable += 1
+    if checkable == 0:
+        return 1.0
+    violations = find_violations(table, cfd_list, witnesses=witnesses)
+    return max(0.0, 1.0 - len(violations) / checkable)
+
+
+def relevance(table: Table, master: Table, key: Sequence[str]) -> float:
+    """Fraction of master-data entities covered by ``table``.
+
+    Paper §2.2 describes master data as "the complete list of properties the
+    user is interested in"; relevance (a recall-style measure) is how much of
+    that list the wrangled result covers.
+    """
+    if len(master) == 0:
+        return 1.0
+    master_keys = set()
+    for row in master.rows():
+        master_key = normalise_key_tuple(row.get(k) for k in key)
+        if any(part is None for part in master_key):
+            continue
+        master_keys.add(master_key)
+    if not master_keys:
+        return 1.0
+    covered = set()
+    for row in table.rows():
+        table_key = normalise_key_tuple(row.get(k) for k in key)
+        if table_key in master_keys:
+            covered.add(table_key)
+    return len(covered) / len(master_keys)
+
+
+@dataclass
+class QualityReport:
+    """Per-criterion scores for one table (plus per-attribute completeness)."""
+
+    relation: str
+    completeness: float
+    accuracy: float
+    consistency: float
+    relevance: float
+    attribute_completeness: dict[str, float] = field(default_factory=dict)
+    row_count: int = 0
+
+    def overall(self, weights: Mapping[str, float] | None = None) -> float:
+        """Weighted overall score (uniform weights when none are given)."""
+        scores = {
+            "completeness": self.completeness,
+            "accuracy": self.accuracy,
+            "consistency": self.consistency,
+            "relevance": self.relevance,
+        }
+        if not weights:
+            return sum(scores.values()) / len(scores)
+        total = sum(weights.get(name, 0.0) for name in scores)
+        if total <= 0:
+            return sum(scores.values()) / len(scores)
+        return sum(scores[name] * weights.get(name, 0.0) for name in scores) / total
+
+    def as_dict(self) -> dict[str, float]:
+        """The four criterion scores as a dictionary."""
+        return {
+            "completeness": self.completeness,
+            "accuracy": self.accuracy,
+            "consistency": self.consistency,
+            "relevance": self.relevance,
+        }
+
+
+def evaluate_quality(table: Table, *,
+                     reference: Table | None = None,
+                     reference_key: Sequence[str] = (),
+                     cfds: Iterable[CFD] = (),
+                     witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
+                     master: Table | None = None,
+                     master_key: Sequence[str] = (),
+                     completeness_weights: Mapping[str, float] | None = None) -> QualityReport:
+    """Compute a full :class:`QualityReport` for ``table``.
+
+    Criteria whose supporting information is unavailable degrade gracefully:
+    without reference data accuracy is 0-informative and reported as 0.0
+    only when a reference was supplied but nothing matched; with no
+    reference at all it is reported as the neutral value 0.5, mirroring the
+    paper's point that some metrics *cannot be determined* without data
+    context. The same convention applies to relevance without master data.
+    Consistency without CFDs is 1.0 (there is nothing to violate).
+    """
+    completeness_by_attribute = {
+        name: attribute_completeness(table, name)
+        for name in table.schema.attribute_names if not name.startswith("_")}
+    completeness_score = table_completeness(table, weights=completeness_weights)
+    if reference is not None and reference_key:
+        accuracy_score = accuracy_against_reference(table, reference, reference_key)
+    else:
+        accuracy_score = 0.5
+    consistency_score = consistency(table, cfds, witnesses=witnesses)
+    if master is not None and master_key:
+        relevance_score = relevance(table, master, master_key)
+    else:
+        relevance_score = 0.5
+    return QualityReport(
+        relation=table.name,
+        completeness=completeness_score,
+        accuracy=accuracy_score,
+        consistency=consistency_score,
+        relevance=relevance_score,
+        attribute_completeness=completeness_by_attribute,
+        row_count=len(table),
+    )
+
+
+def _cell_equal(left: Any, right: Any) -> bool:
+    if is_null(left) or is_null(right):
+        return False
+    if isinstance(left, str) and isinstance(right, str):
+        return left.strip().lower() == right.strip().lower()
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return abs(float(left) - float(right)) < 1e-9
+    return left == right

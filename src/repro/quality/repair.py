@@ -1,0 +1,135 @@
+"""CFD-based data repair.
+
+Paper §3 step 2: once CFDs have been learned from reference data "it is now
+also possible … to carry out repairs to the mapping results". The repairer
+fixes two kinds of defect:
+
+- *violations*: a row's RHS value disagrees with the CFD's expected value
+  (constant pattern or reference witness) — the value is replaced;
+- *missing values*: the RHS is NULL but the CFD (via its witness) knows the
+  expected value — the value is imputed.
+
+Every change is reported as a :class:`RepairAction` so the knowledge base
+can record ``repair`` facts and the trace stays browsable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.quality.cfd import CFD
+from repro.relational.table import Table
+from repro.relational.types import is_null
+
+__all__ = ["RepairAction", "RepairResult", "CFDRepairer"]
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One cell change performed by the repairer."""
+
+    relation: str
+    row_index: int
+    attribute: str
+    old_value: Any
+    new_value: Any
+    cfd_id: str
+    #: ``violation`` (wrong value replaced) or ``imputation`` (NULL filled).
+    kind: str
+
+    def __str__(self) -> str:
+        return (f"{self.relation}[{self.row_index}].{self.attribute}: "
+                f"{self.old_value!r} -> {self.new_value!r} ({self.kind}, {self.cfd_id})")
+
+
+@dataclass
+class RepairResult:
+    """The repaired table plus the list of actions taken."""
+
+    table: Table
+    actions: list[RepairAction]
+
+    @property
+    def repaired_cells(self) -> int:
+        """Number of cells changed."""
+        return len(self.actions)
+
+    def actions_of_kind(self, kind: str) -> list[RepairAction]:
+        """Only violations or only imputations."""
+        return [action for action in self.actions if action.kind == kind]
+
+
+class CFDRepairer:
+    """Applies CFDs (with witnesses) to repair a table."""
+
+    def __init__(self, *, impute_missing: bool = True, fix_violations: bool = True,
+                 min_confidence: float = 0.0):
+        self._impute_missing = impute_missing
+        self._fix_violations = fix_violations
+        self._min_confidence = min_confidence
+
+    def repair(self, table: Table, cfds: Iterable[CFD], *,
+               witnesses: Mapping[str, Mapping[tuple, Any]] | None = None) -> RepairResult:
+        """Return a repaired copy of ``table`` and the actions performed.
+
+        CFDs are applied in decreasing confidence order; once a cell has been
+        repaired by one CFD it is not touched again by a weaker one.
+        """
+        witnesses = witnesses or {}
+        ordered = sorted(
+            (cfd for cfd in cfds if cfd.confidence >= self._min_confidence),
+            key=lambda cfd: (-cfd.confidence, -cfd.support, cfd.cfd_id))
+        rows = [list(values) for values in table.tuples()]
+        schema = table.schema
+        actions: list[RepairAction] = []
+        touched: set[tuple[int, str]] = set()
+
+        for cfd in ordered:
+            if cfd.rhs not in schema:
+                continue
+            if any(attribute not in schema for attribute in cfd.lhs):
+                continue
+            rhs_position = schema.position(cfd.rhs)
+            witness = witnesses.get(cfd.cfd_id)
+            for row_index, values in enumerate(rows):
+                if (row_index, cfd.rhs) in touched:
+                    continue
+                row = dict(zip(schema.attribute_names, values))
+                if not cfd.applies_to(row):
+                    continue
+                expected = cfd.expected_value(row, witness=witness)
+                if expected is None or is_null(expected):
+                    continue
+                current = values[rhs_position]
+                if is_null(current):
+                    if not self._impute_missing:
+                        continue
+                    kind = "imputation"
+                elif not _values_equal(current, expected):
+                    if not self._fix_violations:
+                        continue
+                    kind = "violation"
+                else:
+                    continue
+                values[rhs_position] = expected
+                touched.add((row_index, cfd.rhs))
+                actions.append(RepairAction(
+                    relation=table.name,
+                    row_index=row_index,
+                    attribute=cfd.rhs,
+                    old_value=current,
+                    new_value=expected,
+                    cfd_id=cfd.cfd_id,
+                    kind=kind,
+                ))
+        repaired = table.replace_rows([tuple(values) for values in rows])
+        return RepairResult(table=repaired, actions=actions)
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, str) and isinstance(right, str):
+        return left.strip().lower() == right.strip().lower()
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right

@@ -1,0 +1,190 @@
+"""Quality transducers: CFD learning, quality metrics and repair.
+
+Table 1 names "CFD Learning — Data Examples"; §2.3 describes the Quality
+Metric transducer becoming able to run once the data context provides
+reference data, "adding quality metrics on sources and mappings to the
+knowledge base", which in turn enables source/mapping selection.
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import Predicates, cfd_fact, metric_fact, repair_fact
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.quality.cfd_learning import CFDLearner, CFDLearnerConfig, LearnedCFDs
+from repro.quality.metrics import evaluate_quality
+from repro.quality.repair import CFDRepairer
+
+__all__ = [
+    "CFD_ARTIFACT_KEY",
+    "CFDLearningTransducer",
+    "QualityMetricTransducer",
+    "DataRepairTransducer",
+]
+
+#: Artifact key under which learned CFDs (with witnesses) are stored in the KB.
+CFD_ARTIFACT_KEY = "learned_cfds"
+
+
+class CFDLearningTransducer(Transducer):
+    """Learns CFDs from data-context tables bound to the target schema."""
+
+    name = "cfd_learning"
+    activity = Activity.QUALITY
+    priority = 10
+    input_dependencies = ("data_context(C, K, T)",)
+
+    def __init__(self, config: CFDLearnerConfig | None = None):
+        super().__init__()
+        self._learner = CFDLearner(config)
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        all_cfds: list = []
+        witnesses: dict = {}
+        learned_from = []
+        for context_name, _kind, target_relation in kb.facts(Predicates.DATA_CONTEXT):
+            if not kb.has_table(context_name):
+                continue
+            reference = kb.get_table(context_name)
+            target_schema = kb.schema_of(target_relation)
+            # Only translate attributes that exist in the target schema.
+            attribute_map = {name: name for name in reference.schema.attribute_names
+                             if name in target_schema}
+            if len(attribute_map) < 2:
+                continue
+            learned = self._learner.learn(reference, target_relation=target_relation,
+                                          attribute_map=attribute_map)
+            all_cfds.extend(learned.cfds)
+            witnesses.update(learned.witnesses)
+            learned_from.append(context_name)
+        kb.store_artifact(CFD_ARTIFACT_KEY, LearnedCFDs(cfds=all_cfds, witnesses=witnesses))
+        added = 0
+        for cfd in all_cfds:
+            added += int(kb.assert_tuple(cfd_fact(*cfd.to_fact_fields())))
+        return TransducerResult(
+            facts_added=added,
+            notes=f"learned {len(all_cfds)} CFDs from {learned_from}",
+            details={"cfds": [cfd.describe() for cfd in all_cfds]},
+        )
+
+
+class QualityMetricTransducer(Transducer):
+    """Computes quality metrics for sources and materialised results.
+
+    Completeness is always computable; accuracy, consistency and relevance
+    additionally use whatever data context is available (reference data for
+    accuracy/consistency via CFDs, master data for relevance). Metrics are
+    asserted as ``metric`` facts on sources and results, which is what the
+    selection transducers consume.
+    """
+
+    name = "quality_metrics"
+    activity = Activity.QUALITY
+    priority = 20
+    input_dependencies = ("dataset(S, R, N)",)
+    watch_predicates = ("cfd", "data_context", "result", "repair")
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        learned: LearnedCFDs | None = kb.get_artifact(CFD_ARTIFACT_KEY)
+        cfds = learned.cfds if learned else []
+        witnesses = learned.witnesses if learned else {}
+        reference, reference_key = self._context_table(kb, Predicates.CONTEXT_REFERENCE)
+        master, master_key = self._context_table(kb, Predicates.CONTEXT_MASTER)
+
+        added = 0
+        evaluated = []
+        subjects = [(Predicates.ROLE_SOURCE, name) for name in kb.source_relations()]
+        subjects += [("result", row[0]) for row in kb.facts(Predicates.RESULT)]
+        for subject_kind, relation in subjects:
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            shared_reference_key = [k for k in reference_key
+                                    if reference is not None and k in table.schema]
+            shared_master_key = [k for k in master_key
+                                 if master is not None and k in table.schema]
+            report = evaluate_quality(
+                table,
+                reference=reference if shared_reference_key else None,
+                reference_key=shared_reference_key,
+                cfds=[cfd for cfd in cfds if cfd.rhs in table.schema],
+                witnesses=witnesses,
+                master=master if shared_master_key else None,
+                master_key=shared_master_key,
+            )
+            for criterion, value in report.as_dict().items():
+                added += int(kb.assert_tuple(
+                    metric_fact(subject_kind, relation, criterion, value)))
+            evaluated.append(relation)
+        return TransducerResult(
+            facts_added=added,
+            notes=f"computed metrics for {len(evaluated)} datasets",
+            details={"evaluated": evaluated},
+        )
+
+    @staticmethod
+    def _context_table(kb: KnowledgeBase, kind: str):
+        """The first data-context table of ``kind`` and a join key for it.
+
+        Reference data is keyed on an identifying attribute so the remaining
+        shared attributes can be checked; master data is keyed on all shared
+        attributes (coverage of whole entities).
+        """
+        for context_name, context_kind, target_relation in kb.facts(Predicates.DATA_CONTEXT):
+            if context_kind != kind or not kb.has_table(context_name):
+                continue
+            table = kb.get_table(context_name)
+            target_schema = kb.schema_of(target_relation)
+            shared = [name for name in table.schema.attribute_names if name in target_schema]
+            if not shared:
+                continue
+            if kind == Predicates.CONTEXT_MASTER:
+                key = shared
+            else:
+                key = [name for name in shared if "postcode" in name.lower()] or shared[:1]
+            return table, key
+        return None, []
+
+
+class DataRepairTransducer(Transducer):
+    """Repairs materialised results using the learned CFDs."""
+
+    name = "data_repair"
+    activity = Activity.REPAIR
+    priority = 10
+    input_dependencies = (
+        "result(R, M, N)",
+        "cfd(I, Rel, L, Rh, S)",
+    )
+
+    def __init__(self, repairer: CFDRepairer | None = None):
+        super().__init__()
+        self._repairer = repairer or CFDRepairer()
+
+    def run(self, kb: KnowledgeBase) -> TransducerResult:
+        learned: LearnedCFDs | None = kb.get_artifact(CFD_ARTIFACT_KEY)
+        if not learned or not learned.cfds:
+            return TransducerResult(notes="no learned CFDs available")
+        added = 0
+        repaired_tables = []
+        total_actions = 0
+        for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
+            if not kb.has_table(relation):
+                continue
+            table = kb.get_table(relation)
+            result = self._repairer.repair(table, learned.cfds, witnesses=learned.witnesses)
+            if not result.actions:
+                continue
+            kb.update_table(result.table)
+            repaired_tables.append(relation)
+            total_actions += len(result.actions)
+            for action in result.actions:
+                added += int(kb.assert_tuple(repair_fact(
+                    action.relation, str(action.row_index), action.attribute,
+                    action.old_value, action.new_value, action.cfd_id)))
+        return TransducerResult(
+            facts_added=added,
+            tables_written=repaired_tables,
+            notes=f"repaired {total_actions} cells in {len(repaired_tables)} tables",
+            details={"actions": total_actions},
+        )

@@ -1,0 +1,123 @@
+"""A named-table catalog: the extensional data store behind the knowledge base.
+
+The knowledge base (``repro.core.knowledge_base``) stores *metadata* facts;
+actual data sets are registered here under stable names, mirroring the
+paper's statement that extensional data "is actually stored in external file
+systems or databases". The catalog supports an optional on-disk CSV
+directory so a wrangling session can be persisted and re-opened.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.errors import TableAlreadyExistsError, TableNotFoundError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of named tables with optional CSV persistence.
+
+    Parameters
+    ----------
+    directory:
+        When given, :meth:`flush` writes each registered table to
+        ``<directory>/<name>.csv`` and :meth:`load_directory` re-reads them.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._tables: dict[str, Table] = {}
+        self._directory = Path(directory) if directory is not None else None
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, table: Table, *, name: str | None = None,
+                 replace: bool = False) -> str:
+        """Register ``table`` under ``name`` (defaults to the table's name).
+
+        Returns the registration name. Raises
+        :class:`TableAlreadyExistsError` unless ``replace`` is true.
+        """
+        key = name or table.name
+        if key in self._tables and not replace:
+            raise TableAlreadyExistsError(key)
+        self._tables[key] = table if name is None or name == table.name else table.rename(key)
+        return key
+
+    def replace(self, table: Table, *, name: str | None = None) -> str:
+        """Register or overwrite a table."""
+        return self.register(table, name=name, replace=True)
+
+    def deregister(self, name: str) -> Table:
+        """Remove a table from the catalog and return it."""
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> Table:
+        """Return the table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def get_schema(self, name: str) -> Schema:
+        """Return the schema of the table registered under ``name``."""
+        return self.get(name).schema
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def names(self) -> list[str]:
+        """Sorted list of registered table names."""
+        return sorted(self._tables)
+
+    def tables(self) -> list[Table]:
+        """All registered tables, ordered by name."""
+        return [self._tables[name] for name in self.names()]
+
+    def total_rows(self) -> int:
+        """Total number of rows across all registered tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    # -- persistence ---------------------------------------------------------
+
+    def flush(self) -> list[Path]:
+        """Write every registered table to the catalog directory as CSV."""
+        if self._directory is None:
+            raise TableNotFoundError("catalog has no backing directory")
+        self._directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name in self.names():
+            target = self._directory / f"{name}.csv"
+            write_csv(self._tables[name], target)
+            written.append(target)
+        return written
+
+    def load_directory(self) -> list[str]:
+        """Load every ``*.csv`` file in the backing directory."""
+        if self._directory is None:
+            raise TableNotFoundError("catalog has no backing directory")
+        loaded = []
+        for path in sorted(self._directory.glob("*.csv")):
+            table = read_csv(path)
+            self.replace(table)
+            loaded.append(table.name)
+        return loaded
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={len(self._tables)})"

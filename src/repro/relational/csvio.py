@@ -1,0 +1,107 @@
+"""CSV import/export for relational tables.
+
+The paper's knowledge base keeps extensional data "in external file systems
+or databases"; this module is the file-system backend of that design. CSV is
+the only format needed by the real-estate scenario (web-extraction output and
+open-government downloads are both tabular).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.relational.errors import CsvFormatError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, infer_common_type, infer_type, is_null, parse_literal
+
+__all__ = ["read_csv", "write_csv", "read_csv_text", "write_csv_text"]
+
+
+def read_csv(path: str | Path, *, name: str | None = None, schema: Schema | None = None,
+             delimiter: str = ",") -> Table:
+    """Load a CSV file into a :class:`Table`.
+
+    When ``schema`` is omitted it is inferred: the header row provides the
+    attribute names, and types are inferred from the data (columns with mixed
+    content widen to STRING).
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        return _read(handle, name or path.stem, schema, delimiter)
+
+
+def read_csv_text(text: str, *, name: str, schema: Schema | None = None,
+                  delimiter: str = ",") -> Table:
+    """Parse CSV content held in a string (used by tests and the extractor)."""
+    return _read(io.StringIO(text), name, schema, delimiter)
+
+
+def _read(handle, name: str, schema: Schema | None, delimiter: str) -> Table:
+    reader = csv.reader(handle, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CsvFormatError("CSV input is empty (no header row)") from None
+    header = [column.strip() for column in header]
+    if any(not column for column in header):
+        raise CsvFormatError(f"CSV header contains an empty column name: {header!r}")
+    if len(set(header)) != len(header):
+        raise CsvFormatError(f"CSV header contains duplicate column names: {header!r}")
+
+    raw_rows: list[list[str]] = []
+    for line_number, record in enumerate(reader, start=2):
+        if not record:
+            continue
+        if len(record) != len(header):
+            raise CsvFormatError(
+                f"line {line_number}: expected {len(header)} fields, got {len(record)}")
+        raw_rows.append(record)
+
+    parsed = [[parse_literal(cell) for cell in record] for record in raw_rows]
+
+    if schema is None:
+        attributes = []
+        for position, column_name in enumerate(header):
+            observed = [infer_type(row[position]) for row in parsed]
+            attributes.append(Attribute(column_name, infer_common_type(observed)))
+        schema = Schema(name, attributes)
+    else:
+        if list(schema.attribute_names) != header:
+            raise CsvFormatError(
+                f"CSV header {header!r} does not match schema attributes "
+                f"{list(schema.attribute_names)!r}")
+    return Table(schema, parsed)
+
+
+def write_csv(table: Table, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write ``table`` to ``path`` as CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        _write(table, handle, delimiter)
+
+
+def write_csv_text(table: Table, *, delimiter: str = ",") -> str:
+    """Render ``table`` as CSV text."""
+    buffer = io.StringIO()
+    _write(table, buffer, delimiter)
+    return buffer.getvalue()
+
+
+def _write(table: Table, handle, delimiter: str) -> None:
+    writer = csv.writer(handle, delimiter=delimiter)
+    writer.writerow(table.schema.attribute_names)
+    for values in table.tuples():
+        writer.writerow(["" if is_null(v) else _render(v) for v in values])
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,63 @@
+"""Exceptions raised by the relational substrate.
+
+The relational layer is the storage substrate of the reproduction: the
+knowledge base stores metadata facts, while extensional data (source tables,
+reference data, wrangling results) lives in relational tables managed by a
+:class:`~repro.relational.catalog.Catalog`.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed or an operation violates a schema."""
+
+
+class TypeCoercionError(RelationalError):
+    """A value cannot be coerced to the declared attribute type."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that the schema does not define."""
+
+    def __init__(self, attribute: str, known: tuple[str, ...] = ()):
+        self.attribute = attribute
+        self.known = tuple(known)
+        known_part = f" (known attributes: {', '.join(known)})" if known else ""
+        super().__init__(f"unknown attribute {attribute!r}{known_part}")
+
+
+class DuplicateAttributeError(SchemaError):
+    """A schema declares the same attribute name twice."""
+
+
+class ArityError(RelationalError):
+    """A row has a different number of values than its schema."""
+
+
+class CatalogError(RelationalError):
+    """Base class for catalog-level failures."""
+
+
+class TableNotFoundError(CatalogError):
+    """A named table is not registered in the catalog."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"table {name!r} is not registered in the catalog")
+
+
+class TableAlreadyExistsError(CatalogError):
+    """A table is registered under a name that is already in use."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"table {name!r} is already registered in the catalog")
+
+
+class CsvFormatError(RelationalError):
+    """A CSV file cannot be parsed into a table."""

@@ -1,0 +1,282 @@
+"""Row-level expressions used by the relational operators.
+
+Expressions form a tiny combinator library: attribute references, literals,
+comparisons, boolean connectives and arithmetic. They are used by
+:mod:`repro.relational.operators` (selection predicates, computed columns)
+and by :mod:`repro.mapping` when mappings filter or transform source data.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.relational.errors import RelationalError
+from repro.relational.types import is_null
+
+__all__ = [
+    "Expression",
+    "Column",
+    "Literal",
+    "Comparison",
+    "BooleanExpr",
+    "Not",
+    "Arithmetic",
+    "FunctionCall",
+    "IsNull",
+    "col",
+    "lit",
+]
+
+
+class ExpressionError(RelationalError):
+    """An expression is malformed or cannot be evaluated against a row."""
+
+
+class Expression:
+    """Base class for all row expressions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Evaluate this expression against one row (a name→value mapping)."""
+        raise NotImplementedError
+
+    # -- comparison builders (return predicates) ----------------------------
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "==")
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "!=")
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<")
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<=")
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">")
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">=")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- boolean builders ----------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "BooleanExpr":
+        return BooleanExpr(self, _wrap(other), "and")
+
+    def __or__(self, other: "Expression") -> "BooleanExpr":
+        return BooleanExpr(self, _wrap(other), "or")
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- arithmetic builders ---------------------------------------------------
+
+    def __add__(self, other: Any) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), "+")
+
+    def __sub__(self, other: Any) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), "-")
+
+    def __mul__(self, other: Any) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), "*")
+
+    def __truediv__(self, other: Any) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), "/")
+
+    def is_null(self) -> "IsNull":
+        """Predicate that is true when this expression evaluates to NULL."""
+        return IsNull(self, negate=False)
+
+    def is_not_null(self) -> "IsNull":
+        """Predicate that is true when this expression is not NULL."""
+        return IsNull(self, negate=True)
+
+
+def _wrap(value: Any) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(eq=False)
+class Column(Expression):
+    """Reference to an attribute of the row being evaluated."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.name not in row:
+            raise ExpressionError(f"row has no attribute {self.name!r}")
+        return row[self.name]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(eq=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(eq=False)
+class Comparison(Expression):
+    """A binary comparison with SQL-style NULL semantics.
+
+    Any comparison involving NULL evaluates to False (three-valued logic
+    collapsed to two values, which is what selection needs).
+    """
+
+    left: Expression
+    right: Expression
+    op: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if is_null(left) or is_null(right):
+            return False
+        try:
+            return bool(_COMPARATORS[self.op](left, right))
+        except TypeError:
+            # Incomparable types (e.g. str vs int) are treated as not matching
+            # rather than aborting a whole wrangling run.
+            return False
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class BooleanExpr(Expression):
+    """Conjunction or disjunction of two predicates."""
+
+    left: Expression
+    right: Expression
+    op: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = bool(self.left.evaluate(row))
+        if self.op == "and":
+            return left and bool(self.right.evaluate(row))
+        if self.op == "or":
+            return left or bool(self.right.evaluate(row))
+        raise ExpressionError(f"unknown boolean operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class Not(Expression):
+    """Logical negation of a predicate."""
+
+    operand: Expression
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+@dataclass(eq=False)
+class IsNull(Expression):
+    """NULL test; ``negate=True`` yields IS NOT NULL."""
+
+    operand: Expression
+    negate: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        result = is_null(self.operand.evaluate(row))
+        return (not result) if self.negate else result
+
+    def __repr__(self) -> str:
+        suffix = "is_not_null" if self.negate else "is_null"
+        return f"({self.operand!r}).{suffix}()"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(eq=False)
+class Arithmetic(Expression):
+    """Binary arithmetic; NULL operands propagate to a NULL result."""
+
+    left: Expression
+    right: Expression
+    op: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if is_null(left) or is_null(right):
+            return None
+        if self.op == "/" and right == 0:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except KeyError:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}") from None
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot apply {self.op!r} to {left!r} and {right!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class FunctionCall(Expression):
+    """Apply an arbitrary Python callable to evaluated argument expressions."""
+
+    func: Callable[..., Any]
+    args: tuple[Expression, ...]
+    name: str = ""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        values = [arg.evaluate(row) for arg in self.args]
+        return self.func(*values)
+
+    def __repr__(self) -> str:
+        label = self.name or getattr(self.func, "__name__", "fn")
+        return f"{label}({', '.join(repr(a) for a in self.args)})"
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for a :class:`Column` reference."""
+    return Column(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for a :class:`Literal`."""
+    return Literal(value)

@@ -1,0 +1,354 @@
+"""Relational algebra operators over :class:`~repro.relational.table.Table`.
+
+These are the physical operators used by mapping execution
+(:mod:`repro.mapping.execution`), fusion and the baseline ETL pipeline. Each
+operator is a pure function from tables to a new table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+from repro.relational.expressions import Expression
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Row, Table
+from repro.relational.types import DataType, is_null
+
+__all__ = [
+    "select",
+    "project",
+    "rename_attributes",
+    "extend",
+    "natural_join",
+    "join",
+    "left_outer_join",
+    "union",
+    "union_all",
+    "difference",
+    "distinct",
+    "sort",
+    "limit",
+    "aggregate",
+    "group_by",
+    "Aggregation",
+    "AGGREGATE_FUNCTIONS",
+]
+
+
+def select(table: Table, predicate: Expression | Callable[[Row], bool]) -> Table:
+    """Return the rows of ``table`` satisfying ``predicate``."""
+    if isinstance(predicate, Expression):
+        keep = [values for values, row in _rows_with_views(table) if predicate.evaluate(row)]
+    else:
+        keep = [values for values, row in _rows_with_views(table) if predicate(row)]
+    return table.replace_rows(keep)
+
+
+def project(table: Table, names: Sequence[str], *, relation_name: str | None = None) -> Table:
+    """Return only the attributes ``names`` (in the given order)."""
+    schema = table.schema.project(names, relation_name)
+    positions = [table.schema.position(n) for n in names]
+    rows = [tuple(values[p] for p in positions) for values in table.tuples()]
+    return Table(schema, rows, coerce=False)
+
+
+def rename_attributes(table: Table, mapping: Mapping[str, str]) -> Table:
+    """Rename attributes per ``mapping`` (old name → new name)."""
+    schema = table.schema.rename_attributes(mapping)
+    return Table(schema, table.tuples(), coerce=False)
+
+
+def extend(table: Table, name: str, expression: Expression | Callable[[Row], Any], *,
+           dtype: DataType = DataType.ANY) -> Table:
+    """Add a computed attribute ``name`` to every row."""
+    if name in table.schema:
+        raise SchemaError(f"attribute {name!r} already exists in {table.name!r}")
+    schema = table.schema.add(Attribute(name, dtype))
+    rows = []
+    for values, row in _rows_with_views(table):
+        if isinstance(expression, Expression):
+            computed = expression.evaluate(row)
+        else:
+            computed = expression(row)
+        rows.append((*values, computed))
+    return Table(schema, rows)
+
+
+def _rows_with_views(table: Table) -> Iterable[tuple[tuple[Any, ...], Row]]:
+    schema = table.schema
+    for values in table.tuples():
+        yield values, Row(schema, values)
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def natural_join(left: Table, right: Table, *, relation_name: str | None = None) -> Table:
+    """Join on all attributes the two schemas share by name."""
+    shared = [n for n in left.schema.attribute_names if n in right.schema]
+    if not shared:
+        raise SchemaError(
+            f"natural join of {left.name!r} and {right.name!r} has no shared attributes")
+    pairs = [(n, n) for n in shared]
+    return join(left, right, pairs, relation_name=relation_name)
+
+
+def join(left: Table, right: Table, on: Sequence[tuple[str, str]], *,
+         relation_name: str | None = None) -> Table:
+    """Equi-join ``left`` and ``right`` on pairs of (left attr, right attr).
+
+    The output schema is the left schema followed by the right schema's
+    attributes that are not join keys; NULL join keys never match.
+    """
+    _validate_join_keys(left, right, on)
+    right_key_names = {r for _, r in on}
+    right_carry = [n for n in right.schema.attribute_names if n not in right_key_names]
+    out_schema = _join_output_schema(left, right, right_carry, relation_name)
+
+    index = _build_hash_index(right, [r for _, r in on])
+    left_positions = [left.schema.position(l) for l, _ in on]
+    carry_positions = [right.schema.position(n) for n in right_carry]
+
+    rows = []
+    for values in left.tuples():
+        key = tuple(values[p] for p in left_positions)
+        if any(is_null(k) for k in key):
+            continue
+        for right_values in index.get(key, ()):
+            rows.append((*values, *(right_values[p] for p in carry_positions)))
+    return Table(out_schema, rows, coerce=False)
+
+
+def left_outer_join(left: Table, right: Table, on: Sequence[tuple[str, str]], *,
+                    relation_name: str | None = None) -> Table:
+    """Left outer equi-join; unmatched left rows are padded with NULLs."""
+    _validate_join_keys(left, right, on)
+    right_key_names = {r for _, r in on}
+    right_carry = [n for n in right.schema.attribute_names if n not in right_key_names]
+    out_schema = _join_output_schema(left, right, right_carry, relation_name)
+
+    index = _build_hash_index(right, [r for _, r in on])
+    left_positions = [left.schema.position(l) for l, _ in on]
+    carry_positions = [right.schema.position(n) for n in right_carry]
+    padding = tuple([None] * len(right_carry))
+
+    rows = []
+    for values in left.tuples():
+        key = tuple(values[p] for p in left_positions)
+        matches = [] if any(is_null(k) for k in key) else index.get(key, [])
+        if matches:
+            for right_values in matches:
+                rows.append((*values, *(right_values[p] for p in carry_positions)))
+        else:
+            rows.append((*values, *padding))
+    return Table(out_schema, rows, coerce=False)
+
+
+def _validate_join_keys(left: Table, right: Table, on: Sequence[tuple[str, str]]) -> None:
+    if not on:
+        raise SchemaError("join requires at least one key pair")
+    for left_name, right_name in on:
+        if left_name not in left.schema:
+            raise UnknownAttributeError(left_name, left.schema.attribute_names)
+        if right_name not in right.schema:
+            raise UnknownAttributeError(right_name, right.schema.attribute_names)
+
+
+def _join_output_schema(left: Table, right: Table, right_carry: Sequence[str],
+                        relation_name: str | None) -> Schema:
+    attributes = list(left.schema.attributes)
+    taken = set(left.schema.attribute_names)
+    for name in right_carry:
+        attribute = right.schema.attribute(name)
+        out_name = name if name not in taken else f"{right.name}.{name}"
+        attributes.append(attribute.with_name(out_name))
+        taken.add(out_name)
+    return Schema(relation_name or f"{left.name}_{right.name}", attributes)
+
+
+def _build_hash_index(table: Table, key_names: Sequence[str]) -> dict[tuple, list[tuple]]:
+    positions = [table.schema.position(n) for n in key_names]
+    index: dict[tuple, list[tuple]] = defaultdict(list)
+    for values in table.tuples():
+        key = tuple(values[p] for p in positions)
+        if any(is_null(k) for k in key):
+            continue
+        index[key].append(values)
+    return index
+
+
+# -- set operators ----------------------------------------------------------------
+
+
+def union_all(left: Table, right: Table, *, relation_name: str | None = None) -> Table:
+    """Bag union: all rows of both inputs (schemas must be union compatible)."""
+    if not left.schema.compatible_with(right.schema):
+        raise SchemaError(
+            f"cannot union {left.name!r} and {right.name!r}: incompatible schemas")
+    schema = left.schema if relation_name is None else left.schema.rename(relation_name)
+    return Table(schema, [*left.tuples(), *right.tuples()])
+
+
+def union(left: Table, right: Table, *, relation_name: str | None = None) -> Table:
+    """Set union: union_all followed by duplicate elimination."""
+    return distinct(union_all(left, right, relation_name=relation_name))
+
+
+def difference(left: Table, right: Table) -> Table:
+    """Rows of ``left`` that do not appear in ``right``."""
+    if not left.schema.compatible_with(right.schema):
+        raise SchemaError(
+            f"cannot difference {left.name!r} and {right.name!r}: incompatible schemas")
+    right_rows = set(right.tuples())
+    return left.replace_rows([values for values in left.tuples() if values not in right_rows])
+
+
+def distinct(table: Table, names: Sequence[str] | None = None) -> Table:
+    """Remove duplicate rows (optionally considering only ``names``)."""
+    if names is None:
+        seen: set[tuple] = set()
+        rows = []
+        for values in table.tuples():
+            if values not in seen:
+                seen.add(values)
+                rows.append(values)
+        return table.replace_rows(rows)
+    positions = [table.schema.position(n) for n in names]
+    seen_keys: set[tuple] = set()
+    rows = []
+    for values in table.tuples():
+        key = tuple(values[p] for p in positions)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            rows.append(values)
+    return table.replace_rows(rows)
+
+
+# -- ordering -----------------------------------------------------------------------
+
+
+def sort(table: Table, names: Sequence[str], *, descending: bool = False) -> Table:
+    """Sort rows by the attributes ``names``; NULLs sort last either way."""
+    positions = [table.schema.position(n) for n in names]
+
+    def has_null_key(values: tuple) -> bool:
+        return any(is_null(values[p]) for p in positions)
+
+    def sort_key(values: tuple) -> tuple:
+        return tuple(values[p] for p in positions)
+
+    with_keys = [values for values in table.tuples() if not has_null_key(values)]
+    with_nulls = [values for values in table.tuples() if has_null_key(values)]
+    ordered = sorted(with_keys, key=sort_key, reverse=descending)
+    return table.replace_rows([*ordered, *with_nulls])
+
+
+def limit(table: Table, count: int) -> Table:
+    """Return the first ``count`` rows."""
+    return table.head(count)
+
+
+# -- aggregation --------------------------------------------------------------------
+
+
+def _agg_count(values: list[Any]) -> int:
+    return sum(1 for v in values if not is_null(v))
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    present = [v for v in values if not is_null(v)]
+    return sum(present) if present else None
+
+
+def _agg_avg(values: list[Any]) -> Any:
+    present = [v for v in values if not is_null(v)]
+    return (sum(present) / len(present)) if present else None
+
+
+def _agg_min(values: list[Any]) -> Any:
+    present = [v for v in values if not is_null(v)]
+    return min(present) if present else None
+
+
+def _agg_max(values: list[Any]) -> Any:
+    present = [v for v in values if not is_null(v)]
+    return max(present) if present else None
+
+
+def _agg_count_distinct(values: list[Any]) -> int:
+    return len({v for v in values if not is_null(v)})
+
+
+def _agg_first(values: list[Any]) -> Any:
+    for value in values:
+        if not is_null(value):
+            return value
+    return None
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+    "count_distinct": _agg_count_distinct,
+    "first": _agg_first,
+}
+
+
+class Aggregation:
+    """Specification of one aggregate output column."""
+
+    __slots__ = ("function", "attribute", "alias")
+
+    def __init__(self, function: str, attribute: str, alias: str | None = None):
+        if function not in AGGREGATE_FUNCTIONS:
+            raise SchemaError(
+                f"unknown aggregate {function!r}; available: {sorted(AGGREGATE_FUNCTIONS)}")
+        self.function = function
+        self.attribute = attribute
+        self.alias = alias or f"{function}_{attribute}"
+
+    def compute(self, values: list[Any]) -> Any:
+        """Apply the aggregate function to the given column values."""
+        return AGGREGATE_FUNCTIONS[self.function](values)
+
+    def __repr__(self) -> str:
+        return f"Aggregation({self.function}({self.attribute}) as {self.alias})"
+
+
+def aggregate(table: Table, aggregations: Sequence[Aggregation], *,
+              relation_name: str | None = None) -> Table:
+    """Aggregate the whole table to a single row."""
+    return group_by(table, [], aggregations, relation_name=relation_name)
+
+
+def group_by(table: Table, keys: Sequence[str], aggregations: Sequence[Aggregation], *,
+             relation_name: str | None = None) -> Table:
+    """Group rows by ``keys`` and compute ``aggregations`` per group."""
+    for aggregation in aggregations:
+        if aggregation.attribute not in table.schema:
+            raise UnknownAttributeError(aggregation.attribute, table.schema.attribute_names)
+    key_positions = [table.schema.position(k) for k in keys]
+    agg_positions = [table.schema.position(a.attribute) for a in aggregations]
+
+    groups: dict[tuple, list[tuple]] = defaultdict(list)
+    for values in table.tuples():
+        groups[tuple(values[p] for p in key_positions)].append(values)
+    if not keys and not groups:
+        groups[()] = []
+
+    attributes = [table.schema.attribute(k) for k in keys]
+    attributes += [Attribute(a.alias, DataType.ANY) for a in aggregations]
+    schema = Schema(relation_name or f"{table.name}_agg", attributes)
+
+    rows = []
+    for key, members in groups.items():
+        cells = list(key)
+        for aggregation, position in zip(aggregations, agg_positions):
+            cells.append(aggregation.compute([values[position] for values in members]))
+        rows.append(tuple(cells))
+    return Table(schema, rows)

@@ -1,0 +1,19 @@
+"""Demonstration scenarios (currently: the real-estate scenario of §2.1)."""
+
+from repro.scenarios.realestate import (
+    ONTHEMARKET_TEMPLATE,
+    RIGHTMOVE_TEMPLATE,
+    RealEstateScenario,
+    ScenarioConfig,
+    generate_scenario,
+    target_schema,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "RealEstateScenario",
+    "generate_scenario",
+    "target_schema",
+    "RIGHTMOVE_TEMPLATE",
+    "ONTHEMARKET_TEMPLATE",
+]

@@ -1,0 +1,410 @@
+"""The real-estate demonstration scenario (paper §2.1, Figure 2).
+
+The scenario brings together:
+
+- two web-extracted property sources, **Rightmove** and **Onthemarket**
+  (produced by DIADEM in the paper; generated synthetically here, with the
+  extraction-error model of :mod:`repro.extraction.noise`);
+- one open-government source, **Deprivation** (postcode → crime rank);
+- a **target schema** ``property(type, description, street, postcode,
+  bedrooms, price, crimerank)``;
+- **data context**: an Address reference list (street, city, postcode) and
+  optionally master/example data;
+- ground truth used by the benchmark harness to evaluate result quality and
+  to simulate user feedback.
+
+Everything is generated from an explicit seed so experiments are exactly
+reproducible; sizes, overlap and noise rates are configurable so the
+benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.extraction.noise import NoiseInjector, NoiseProfile
+from repro.extraction.pages import ResultPage, SiteTemplate, SyntheticSite
+from repro.relational.schema import Attribute, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = [
+    "ScenarioConfig",
+    "RealEstateScenario",
+    "generate_scenario",
+    "target_schema",
+    "RIGHTMOVE_TEMPLATE",
+    "ONTHEMARKET_TEMPLATE",
+]
+
+#: Street-name building blocks (UK flavoured, like the paper's Manchester data).
+_STREET_STEMS = (
+    "Oak", "Elm", "Birch", "Cedar", "Willow", "Maple", "Ash", "Holly", "Rowan", "Hawthorn",
+    "Victoria", "Albert", "Church", "Mill", "Station", "Park", "Chapel", "School", "Bridge",
+    "Market", "King", "Queen", "Castle", "Garden", "Meadow", "Orchard", "River", "Spring",
+    "Granville", "Clarence", "Wellington", "Nelson", "Portland", "Cambridge", "Oxford",
+)
+_STREET_SUFFIXES = ("Street", "Road", "Avenue", "Lane", "Close", "Drive", "Grove", "Way")
+_CITIES = ("Manchester", "Salford", "Stockport", "Oldham", "Bury", "Rochdale", "Bolton")
+_PROPERTY_TYPES = ("detached", "semi-detached", "terraced", "flat", "bungalow")
+_TYPE_BASE_PRICE = {
+    "detached": 420_000.0,
+    "semi-detached": 280_000.0,
+    "terraced": 190_000.0,
+    "flat": 150_000.0,
+    "bungalow": 260_000.0,
+}
+_DESCRIPTION_FEATURES = (
+    "recently refurbished", "with a south-facing garden", "close to local schools",
+    "with off-road parking", "near the tram stop", "with a modern kitchen",
+    "offering spacious living accommodation", "in a quiet cul-de-sac",
+    "with original period features", "ideal for first-time buyers",
+)
+
+
+def target_schema(name: str = "property") -> Schema:
+    """The target schema of Figure 2(b)."""
+    return Schema(name, [
+        Attribute("type", DataType.STRING, description="property type"),
+        Attribute("description", DataType.STRING, description="free-text description"),
+        Attribute("street", DataType.STRING, description="street of the property"),
+        Attribute("postcode", DataType.STRING, description="UK postcode"),
+        Attribute("bedrooms", DataType.INTEGER, description="number of bedrooms"),
+        Attribute("price", DataType.FLOAT, description="asking price in GBP"),
+        Attribute("crimerank", DataType.INTEGER, description="crime rank of the area"),
+    ])
+
+
+#: Site templates used when the scenario is generated as web pages.
+RIGHTMOVE_TEMPLATE = SiteTemplate(
+    name="rightmove",
+    field_labels={
+        "price": "Price",
+        "street": "Street",
+        "postcode": "Postcode",
+        "bedrooms": "Bedrooms",
+        "type": "Property type",
+        "description": "Description",
+    },
+    price_format="currency",
+)
+
+ONTHEMARKET_TEMPLATE = SiteTemplate(
+    name="onthemarket",
+    field_labels={
+        "price": "Asking price",
+        "street": "Address line",
+        "postcode": "Post code",
+        "bedrooms": "Beds",
+        "type": "Style",
+        "description": "Summary",
+    },
+    price_format="plain",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of the generated scenario."""
+
+    seed: int = 7
+    #: Number of ground-truth properties.
+    properties: int = 1000
+    #: Number of distinct postcodes (each postcode belongs to one street).
+    postcodes: int = 150
+    #: Fraction of ground-truth properties listed on each portal.
+    rightmove_coverage: float = 0.75
+    onthemarket_coverage: float = 0.65
+    #: Fraction of postcodes covered by the Deprivation open-government data.
+    deprivation_coverage: float = 0.95
+    #: Fraction of addresses present in the reference Address list.
+    address_coverage: float = 1.0
+    #: Fraction of ground-truth properties present in the master list.
+    master_coverage: float = 0.3
+    #: Noise applied to the Rightmove extraction.
+    rightmove_noise: NoiseProfile = field(default_factory=lambda: NoiseProfile(
+        missing_rates={"description": 0.10, "bedrooms": 0.05, "postcode": 0.03, "type": 0.05},
+        bedroom_area_rate=0.15,
+        street_typo_rate=0.05,
+        postcode_format_rate=0.10,
+        type_variation_rate=0.20,
+    ))
+    #: Noise applied to the Onthemarket extraction.
+    onthemarket_noise: NoiseProfile = field(default_factory=lambda: NoiseProfile(
+        missing_rates={"description": 0.20, "bedrooms": 0.10, "postcode": 0.08,
+                       "street": 0.05, "type": 0.10},
+        bedroom_area_rate=0.02,
+        street_typo_rate=0.10,
+        postcode_format_rate=0.05,
+        type_variation_rate=0.10,
+    ))
+
+    def with_noise_scale(self, scale: float) -> "ScenarioConfig":
+        """A copy with every noise rate multiplied by ``scale`` (capped at 0.95)."""
+        def scaled(profile: NoiseProfile) -> NoiseProfile:
+            return NoiseProfile(
+                missing_rates={k: min(0.95, v * scale) for k, v in profile.missing_rates.items()},
+                bedroom_area_rate=min(0.95, profile.bedroom_area_rate * scale),
+                street_typo_rate=min(0.95, profile.street_typo_rate * scale),
+                postcode_format_rate=min(0.95, profile.postcode_format_rate * scale),
+                type_variation_rate=min(0.95, profile.type_variation_rate * scale),
+            )
+        return replace(self, rightmove_noise=scaled(self.rightmove_noise),
+                       onthemarket_noise=scaled(self.onthemarket_noise))
+
+
+@dataclass
+class RealEstateScenario:
+    """Everything the demonstration (and the benchmarks) need."""
+
+    config: ScenarioConfig
+    target: Schema
+    #: The web-extracted property sources plus the open-government source.
+    rightmove: Table
+    onthemarket: Table
+    deprivation: Table
+    #: Data context: the Address reference list (street, city, postcode).
+    address_reference: Table
+    #: Optional master data: the properties the user is interested in.
+    master: Table
+    #: Ground truth in the target schema (used for evaluation and simulated
+    #: feedback; not available to the wrangling process itself).
+    ground_truth: Table
+
+    def sources(self) -> list[Table]:
+        """The source tables in the order of Figure 2(a)."""
+        return [self.rightmove, self.onthemarket, self.deprivation]
+
+    def web_pages(self) -> dict[str, list[ResultPage]]:
+        """The property sources rendered as deep-web result pages.
+
+        The rendered pages contain exactly the same (noisy) records as the
+        :attr:`rightmove` / :attr:`onthemarket` tables, so the extraction
+        path and the direct-table path are interchangeable in experiments.
+        """
+        pages = {}
+        for table, template in ((self.rightmove, RIGHTMOVE_TEMPLATE),
+                                (self.onthemarket, ONTHEMARKET_TEMPLATE)):
+            records = []
+            for row in table.rows():
+                record = row.to_dict()
+                # Render under canonical attribute names: the site template
+                # maps them to its own labels.
+                records.append({
+                    "price": record.get(_source_attr(table.name, "price")),
+                    "street": record.get(_source_attr(table.name, "street")),
+                    "postcode": record.get(_source_attr(table.name, "postcode")),
+                    "bedrooms": record.get(_source_attr(table.name, "bedrooms")),
+                    "type": record.get(_source_attr(table.name, "type")),
+                    "description": record.get(_source_attr(table.name, "description")),
+                })
+            pages[table.name] = SyntheticSite(template).render_pages(records)
+        return pages
+
+
+#: Attribute naming used by each source (Onthemarket deliberately uses
+#: different names so schema matching has real work to do).
+_RIGHTMOVE_ATTRS = {
+    "price": "price", "street": "street", "postcode": "postcode",
+    "bedrooms": "bedrooms", "type": "type", "description": "description",
+}
+_ONTHEMARKET_ATTRS = {
+    "price": "asking_price", "street": "address_street", "postcode": "post_code",
+    "bedrooms": "beds", "type": "property_type", "description": "summary",
+}
+
+
+def _source_attr(source_name: str, canonical: str) -> str:
+    if source_name == "onthemarket":
+        return _ONTHEMARKET_ATTRS[canonical]
+    return _RIGHTMOVE_ATTRS[canonical]
+
+
+def generate_scenario(config: ScenarioConfig | None = None) -> RealEstateScenario:
+    """Generate the full scenario deterministically from ``config``."""
+    config = config or ScenarioConfig()
+    rng = random.Random(config.seed)
+
+    streets = _generate_streets(rng)
+    postcode_directory = _generate_postcodes(rng, config.postcodes, streets)
+    properties = _generate_properties(rng, config.properties, postcode_directory)
+
+    deprivation = _deprivation_table(rng, config, postcode_directory)
+    crime_by_postcode = {row[0]: row[1] for row in deprivation.tuples()}
+    ground_truth = _ground_truth_table(properties, crime_by_postcode)
+    address_reference = _address_table(rng, config, postcode_directory)
+    master = _master_table(rng, config, properties)
+    rightmove = _portal_table(rng, config, properties, "rightmove")
+    onthemarket = _portal_table(rng, config, properties, "onthemarket")
+
+    return RealEstateScenario(
+        config=config,
+        target=target_schema(),
+        rightmove=rightmove,
+        onthemarket=onthemarket,
+        deprivation=deprivation,
+        address_reference=address_reference,
+        master=master,
+        ground_truth=ground_truth,
+    )
+
+
+# -- generation internals -----------------------------------------------------
+
+
+def _generate_streets(rng: random.Random) -> list[tuple[str, str]]:
+    """(street, city) pairs; unique street names."""
+    streets = []
+    seen = set()
+    for stem in _STREET_STEMS:
+        for suffix in _STREET_SUFFIXES:
+            name = f"{stem} {suffix}"
+            if name in seen:
+                continue
+            seen.add(name)
+            streets.append((name, rng.choice(_CITIES)))
+    rng.shuffle(streets)
+    return streets
+
+
+def _generate_postcodes(rng: random.Random, count: int,
+                        streets: list[tuple[str, str]]) -> list[dict]:
+    """Postcode directory entries: postcode → (street, city).
+
+    Each postcode belongs to exactly one street (so ``postcode → street`` and
+    ``postcode → city`` are exact FDs in the reference data, which is what
+    CFD learning exploits); a street may have several postcodes.
+    """
+    directory = []
+    seen = set()
+    areas = ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M11", "M12", "M13",
+             "M14", "M15", "M16", "M19", "M20", "M21", "M22", "M23", "M25", "M27", "M28")
+    attempts = 0
+    while len(directory) < count and attempts < count * 50:
+        attempts += 1
+        area = rng.choice(areas)
+        suffix = f"{rng.randint(1, 9)}{rng.choice('ABCDEFGHJLNPQRSTUWXYZ')}" \
+                 f"{rng.choice('ABCDEFGHJLNPQRSTUWXYZ')}"
+        postcode = f"{area} {suffix}"
+        if postcode in seen:
+            continue
+        seen.add(postcode)
+        street, city = streets[len(directory) % len(streets)]
+        directory.append({"postcode": postcode, "street": street, "city": city})
+    return directory
+
+
+def _generate_properties(rng: random.Random, count: int,
+                         postcode_directory: list[dict]) -> list[dict]:
+    properties = []
+    for index in range(count):
+        entry = rng.choice(postcode_directory)
+        property_type = rng.choice(_PROPERTY_TYPES)
+        bedrooms = max(1, min(6, int(rng.gauss(3, 1.2))))
+        base = _TYPE_BASE_PRICE[property_type]
+        price = round(max(60_000.0,
+                          base * (0.75 + 0.18 * bedrooms) * rng.uniform(0.85, 1.15)), -3)
+        description = (f"A {bedrooms} bedroom {property_type} property on "
+                       f"{entry['street']} {rng.choice(_DESCRIPTION_FEATURES)}")
+        properties.append({
+            "property_id": f"p{index:05d}",
+            "type": property_type,
+            "description": description,
+            "street": entry["street"],
+            "city": entry["city"],
+            "postcode": entry["postcode"],
+            "bedrooms": bedrooms,
+            "price": price,
+        })
+    return properties
+
+
+def _deprivation_table(rng: random.Random, config: ScenarioConfig,
+                       postcode_directory: list[dict]) -> Table:
+    schema = Schema("deprivation", [
+        Attribute("postcode", DataType.STRING),
+        Attribute("crime", DataType.INTEGER, description="crime rank (1 = worst)"),
+    ])
+    covered = [entry for entry in postcode_directory
+               if rng.random() < config.deprivation_coverage]
+    ranks = list(range(1, len(covered) + 1))
+    rng.shuffle(ranks)
+    rows = [(entry["postcode"], rank) for entry, rank in zip(covered, ranks)]
+    return Table(schema, rows)
+
+
+def _ground_truth_table(properties: list[dict], crime_by_postcode: dict) -> Table:
+    schema = target_schema("property_ground_truth")
+    rows = []
+    for record in properties:
+        rows.append((
+            record["type"],
+            record["description"],
+            record["street"],
+            record["postcode"],
+            record["bedrooms"],
+            record["price"],
+            crime_by_postcode.get(record["postcode"]),
+        ))
+    return Table(schema, rows)
+
+
+def _address_table(rng: random.Random, config: ScenarioConfig,
+                   postcode_directory: list[dict]) -> Table:
+    schema = Schema("address", [
+        Attribute("street", DataType.STRING),
+        Attribute("city", DataType.STRING),
+        Attribute("postcode", DataType.STRING),
+    ])
+    rows = [(entry["street"], entry["city"], entry["postcode"])
+            for entry in postcode_directory if rng.random() < config.address_coverage]
+    return Table(schema, rows)
+
+
+def _master_table(rng: random.Random, config: ScenarioConfig,
+                  properties: list[dict]) -> Table:
+    schema = Schema("master_properties", [
+        Attribute("street", DataType.STRING),
+        Attribute("postcode", DataType.STRING),
+        Attribute("price", DataType.FLOAT),
+    ])
+    rows = [(record["street"], record["postcode"], record["price"])
+            for record in properties if rng.random() < config.master_coverage]
+    return Table(schema, rows)
+
+
+def _portal_table(rng: random.Random, config: ScenarioConfig, properties: list[dict],
+                  portal: str) -> Table:
+    coverage = (config.rightmove_coverage if portal == "rightmove"
+                else config.onthemarket_coverage)
+    noise = (config.rightmove_noise if portal == "rightmove"
+             else config.onthemarket_noise)
+    listed = [record for record in properties if rng.random() < coverage]
+    injector = NoiseInjector(noise, seed=rng.randrange(1 << 30))
+    clean_records = [{
+        "price": record["price"],
+        "street": record["street"],
+        "postcode": record["postcode"],
+        "bedrooms": record["bedrooms"],
+        "type": record["type"],
+        "description": record["description"],
+    } for record in listed]
+    noisy_records = injector.corrupt_records(clean_records)
+
+    attrs = _RIGHTMOVE_ATTRS if portal == "rightmove" else _ONTHEMARKET_ATTRS
+    schema = Schema(portal, [
+        Attribute(attrs["price"], DataType.FLOAT),
+        Attribute(attrs["street"], DataType.STRING),
+        Attribute(attrs["postcode"], DataType.STRING),
+        Attribute(attrs["bedrooms"], DataType.INTEGER),
+        Attribute(attrs["type"], DataType.STRING),
+        Attribute(attrs["description"], DataType.STRING),
+    ])
+    rows = []
+    for record in noisy_records:
+        rows.append((
+            record["price"], record["street"], record["postcode"],
+            record["bedrooms"], record["type"], record["description"],
+        ))
+    return Table(schema, rows)

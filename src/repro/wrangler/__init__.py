@@ -1,0 +1,7 @@
+"""The high-level pay-as-you-go wrangling facade."""
+
+from repro.wrangler.config import WranglerConfig
+from repro.wrangler.pipeline import Wrangler, build_default_registry
+from repro.wrangler.result import WranglingResult
+
+__all__ = ["Wrangler", "WranglerConfig", "WranglingResult", "build_default_registry"]

@@ -1,0 +1,358 @@
+"""The high-level pay-as-you-go wrangling API.
+
+:class:`Wrangler` is the programmatic equivalent of the paper's web
+interface (Figure 3): the user registers sources and a target schema, lets
+the system bootstrap automatically, and then *pays* incrementally — adding
+data context, giving feedback, stating a user context — with each payment
+triggering re-orchestration and (typically) a better result.
+
+Typical usage::
+
+    wrangler = Wrangler()
+    wrangler.add_source(rightmove)
+    wrangler.add_source(onthemarket)
+    wrangler.add_source(deprivation)
+    wrangler.set_target_schema(target)
+
+    bootstrap = wrangler.run("bootstrap")                     # step 1
+    wrangler.add_reference_data(addresses)                    # step 2
+    with_context = wrangler.run("data_context")
+    wrangler.simulate_feedback(ground_truth, budget=50)       # step 3
+    with_feedback = wrangler.run("feedback")
+    wrangler.set_user_context(user_context)                   # step 4
+    final = wrangler.run("user_context")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.context.data_context import DataContext
+from repro.context.transducers import CriterionWeightTransducer
+from repro.context.user_context import UserContext
+from repro.core.facts import Feedback, Predicates
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.orchestrator import NetworkTransducer, Orchestrator
+from repro.core.registry import TransducerRegistry
+from repro.core.trace import Trace
+from repro.extraction.pages import ResultPage
+from repro.extraction.transducers import DataExtractionTransducer, register_web_source
+from repro.extraction.wrapper import SiteWrapper
+from repro.feedback.annotations import FeedbackCollector, simulate_feedback
+from repro.feedback.transducers import FeedbackRepairTransducer, MappingEvaluationTransducer
+from repro.fusion.transducers import DataFusionTransducer, DuplicateDetectionTransducer
+from repro.mapping.model import SchemaMapping
+from repro.mapping.transducers import (
+    MAPPINGS_ARTIFACT_KEY,
+    MappingGenerationTransducer,
+    MappingQualityTransducer,
+    MappingSelectionTransducer,
+    ResultMaterialisationTransducer,
+    SourceSelectionTransducer,
+    result_relation_name,
+)
+from repro.matching.transducers import InstanceMatchingTransducer, SchemaMatchingTransducer
+from repro.quality.metrics import QualityReport, evaluate_quality
+from repro.quality.transducers import (
+    CFD_ARTIFACT_KEY,
+    CFDLearningTransducer,
+    DataRepairTransducer,
+    QualityMetricTransducer,
+)
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.wrangler.config import WranglerConfig
+from repro.wrangler.result import WranglingResult
+
+__all__ = ["Wrangler", "build_default_registry"]
+
+
+def build_default_registry(config: WranglerConfig | None = None) -> TransducerRegistry:
+    """The standard transducer complement of the architecture.
+
+    This is the concrete instantiation of Table 1 (plus the additional
+    transducers named in the paper's text): extraction, schema and instance
+    matching, mapping generation, CFD learning, quality metrics, repair,
+    duplicate detection, data fusion, source selection, mapping selection,
+    result materialisation, mapping evaluation and criterion weighting.
+    """
+    config = config or WranglerConfig()
+    registry = TransducerRegistry()
+    registry.register(DataExtractionTransducer())
+    registry.register(SchemaMatchingTransducer(config.schema_matcher))
+    registry.register(InstanceMatchingTransducer(config.instance_matcher))
+    registry.register(MappingGenerationTransducer(config.mapping_generator))
+    registry.register(MappingQualityTransducer())
+    registry.register(CFDLearningTransducer(config.cfd_learner))
+    registry.register(QualityMetricTransducer())
+    if config.enable_repair:
+        registry.register(DataRepairTransducer())
+    if config.enable_fusion:
+        registry.register(DuplicateDetectionTransducer(config.duplicate_detector))
+        registry.register(DataFusionTransducer())
+    if config.enable_source_selection:
+        registry.register(SourceSelectionTransducer())
+    registry.register(MappingSelectionTransducer())
+    registry.register(ResultMaterialisationTransducer())
+    registry.register(MappingEvaluationTransducer())
+    registry.register(FeedbackRepairTransducer())
+    registry.register(CriterionWeightTransducer())
+    return registry
+
+
+class Wrangler:
+    """A pay-as-you-go wrangling session over one knowledge base."""
+
+    def __init__(self, *, config: WranglerConfig | None = None,
+                 policy: NetworkTransducer | None = None,
+                 registry: TransducerRegistry | None = None):
+        self._config = config or WranglerConfig()
+        self._kb = KnowledgeBase()
+        self._registry = registry if registry is not None else build_default_registry(self._config)
+        self._orchestrator = Orchestrator(self._kb, self._registry, policy,
+                                          max_steps=self._config.max_steps)
+        self._feedback = FeedbackCollector(self._kb)
+        self._target_relation: str | None = None
+        self._user_context: UserContext | None = None
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The session's knowledge base."""
+        return self._kb
+
+    @property
+    def registry(self) -> TransducerRegistry:
+        """The registered transducers."""
+        return self._registry
+
+    @property
+    def orchestrator(self) -> Orchestrator:
+        """The orchestrator driving the session."""
+        return self._orchestrator
+
+    @property
+    def trace(self) -> Trace:
+        """The browsable orchestration trace."""
+        return self._orchestrator.trace
+
+    @property
+    def target_relation(self) -> str | None:
+        """Name of the declared target relation (None before it is set)."""
+        return self._target_relation
+
+    # -- configuration of the wrangling task (Figure 3 interactions) -------------
+
+    def add_source(self, table: Table) -> str:
+        """Register a source table (already extracted)."""
+        return self._kb.register_table(table, Predicates.ROLE_SOURCE)
+
+    def add_sources(self, tables: Iterable[Table]) -> list[str]:
+        """Register several source tables."""
+        return [self.add_source(table) for table in tables]
+
+    def add_web_source(self, name: str, pages: Sequence[ResultPage], *,
+                       wrapper: SiteWrapper | None = None) -> None:
+        """Register a deep-web source as pages; extraction will wrangle it."""
+        register_web_source(self._kb, name, pages, wrapper=wrapper)
+
+    def set_target_schema(self, schema: Schema) -> None:
+        """Declare the target schema the user needs (Figure 3(a))."""
+        self._kb.describe_schema(schema, Predicates.ROLE_TARGET)
+        self._target_relation = schema.name
+
+    def set_data_context(self, data_context: DataContext) -> int:
+        """Associate data-context tables with the target schema (Figure 3(b))."""
+        return data_context.assert_into(self._kb)
+
+    def add_reference_data(self, table: Table, *, target_relation: str | None = None) -> int:
+        """Shorthand: bind one reference table to the target schema."""
+        relation = target_relation or self._require_target()
+        return DataContext().reference(table, relation).assert_into(self._kb)
+
+    def add_master_data(self, table: Table, *, target_relation: str | None = None) -> int:
+        """Shorthand: bind one master-data table to the target schema."""
+        relation = target_relation or self._require_target()
+        return DataContext().master(table, relation).assert_into(self._kb)
+
+    def add_example_data(self, table: Table, *, target_relation: str | None = None) -> int:
+        """Shorthand: bind one example-data table to the target schema."""
+        relation = target_relation or self._require_target()
+        return DataContext().example(table, relation).assert_into(self._kb)
+
+    def set_user_context(self, user_context: UserContext) -> int:
+        """State the user's pairwise priorities (Figure 3(d))."""
+        self._user_context = user_context
+        return user_context.assert_into(self._kb)
+
+    # -- feedback (Figure 3(c)) ---------------------------------------------------
+
+    def feedback_on_attribute(self, row_key: str, attribute: str, *, correct: bool,
+                              relation: str | None = None) -> Feedback:
+        """Attribute-level feedback on one result cell."""
+        return self._feedback.annotate_attribute(
+            relation or self.result_name(), row_key, attribute, correct=correct)
+
+    def feedback_on_tuple(self, row_key: str, *, correct: bool,
+                          relation: str | None = None) -> Feedback:
+        """Tuple-level feedback on one result row."""
+        return self._feedback.annotate_tuple(
+            relation or self.result_name(), row_key, correct=correct)
+
+    def add_feedback(self, annotations: Iterable[Feedback]) -> int:
+        """Assert a batch of pre-built feedback annotations."""
+        return self._feedback.annotate_many(annotations)
+
+    def simulate_feedback(self, ground_truth: Table, *, budget: int = 50, seed: int = 0,
+                          key: Sequence[str] = ("postcode", "price"),
+                          strategy: str = "targeted") -> int:
+        """Simulate a user annotating ``budget`` result cells against ground truth.
+
+        The default ``targeted`` strategy mirrors the paper's motivation:
+        the user notices and flags values that are clearly wrong (e.g. a
+        bedroom count that is actually a room area).
+        """
+        table = self.result()
+        if table is None:
+            return 0
+        annotations = simulate_feedback(table, ground_truth, key,
+                                        budget=budget, seed=seed, strategy=strategy)
+        return self.add_feedback(annotations)
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self, phase: str = "", *, ground_truth: Table | None = None,
+            ground_truth_key: Sequence[str] = ("postcode", "price")) -> WranglingResult:
+        """Orchestrate to quiescence and package the outcome of this stage."""
+        steps_before = len(self.trace)
+        self._orchestrator.set_phase(phase)
+        self._orchestrator.run()
+        steps_executed = len(self.trace) - steps_before
+        table = self.result()
+        quality = None
+        if table is not None:
+            quality = self.evaluate(ground_truth=ground_truth, key=ground_truth_key)
+        return WranglingResult(
+            phase=phase or "run",
+            table=table,
+            selected_mapping=self.selected_mapping(),
+            quality=quality,
+            trace=self.trace,
+            steps_executed=steps_executed,
+            details={"kb_facts": self._kb.count(), "kb_revision": self._kb.revision},
+        )
+
+    def step(self):
+        """Execute a single orchestration step (None when quiescent)."""
+        return self._orchestrator.step()
+
+    # -- results -------------------------------------------------------------------------
+
+    def result_name(self) -> str:
+        """Name of the materialised result relation."""
+        return result_relation_name(self._require_target())
+
+    def result(self) -> Table | None:
+        """The current materialised result (None before materialisation)."""
+        if self._target_relation is None:
+            return None
+        name = result_relation_name(self._target_relation)
+        if not self._kb.has_table(name):
+            return None
+        return self._kb.get_table(name)
+
+    def selected_mapping(self) -> SchemaMapping | None:
+        """The currently selected mapping (None before selection)."""
+        candidates = self._kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {})
+        for mapping_id, rank in self._kb.facts(Predicates.MAPPING_SELECTED):
+            if rank == 1 and mapping_id in candidates:
+                return candidates[mapping_id]
+        return None
+
+    def candidate_mappings(self) -> list[SchemaMapping]:
+        """All candidate mappings currently known."""
+        return sorted(self._kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {}).values(),
+                      key=lambda mapping: mapping.mapping_id)
+
+    def evaluate(self, *, ground_truth: Table | None = None,
+                 key: Sequence[str] = ("postcode", "price")) -> QualityReport | None:
+        """Quality of the current result.
+
+        With ``ground_truth`` the result is scored against it (accuracy and
+        relevance use the ground truth); otherwise whatever reference/master
+        data the data context provides is used — mirroring what the system
+        itself can know.
+        """
+        table = self.result()
+        if table is None:
+            return None
+        learned = self._kb.get_artifact(CFD_ARTIFACT_KEY)
+        cfds = learned.cfds if learned else []
+        witnesses = learned.witnesses if learned else {}
+        if ground_truth is not None:
+            shared_key = [k for k in key if k in table.schema and k in ground_truth.schema]
+            return evaluate_quality(
+                table,
+                reference=ground_truth,
+                reference_key=shared_key,
+                cfds=[cfd for cfd in cfds if cfd.rhs in table.schema],
+                witnesses=witnesses,
+                master=ground_truth,
+                master_key=shared_key,
+            )
+        reference, reference_key = self._context_table(Predicates.CONTEXT_REFERENCE)
+        master, master_key = self._context_table(Predicates.CONTEXT_MASTER)
+        return evaluate_quality(
+            table,
+            reference=reference,
+            reference_key=reference_key,
+            cfds=[cfd for cfd in cfds if cfd.rhs in table.schema],
+            witnesses=witnesses,
+            master=master,
+            master_key=master_key,
+        )
+
+    def describe_transducers(self) -> list[dict]:
+        """Table-1-style description of the registered transducers."""
+        return self._registry.describe()
+
+    def manual_actions(self) -> int:
+        """How many manual configuration actions the user has performed.
+
+        Counts the interactions of Figure 3: registering sources and the
+        target schema, each data-context binding, each feedback annotation
+        and each pairwise preference. Used by the cost-effectiveness
+        benchmark as the effort proxy.
+        """
+        actions = len(self._kb.facts(Predicates.DATASET))
+        actions += len(self._kb.target_relations())
+        actions += len(self._kb.facts(Predicates.DATA_CONTEXT))
+        actions += len(self._kb.facts(Predicates.FEEDBACK))
+        actions += len(self._kb.facts(Predicates.PREFERENCE))
+        return actions
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _require_target(self) -> str:
+        if self._target_relation is None:
+            raise ValueError("no target schema has been set; call set_target_schema first")
+        return self._target_relation
+
+    def _context_table(self, kind: str):
+        for context_name, context_kind, target_relation in self._kb.facts(Predicates.DATA_CONTEXT):
+            if context_kind != kind or not self._kb.has_table(context_name):
+                continue
+            if self._target_relation is not None and target_relation != self._target_relation:
+                continue
+            table = self._kb.get_table(context_name)
+            target = self._kb.schema_of(target_relation)
+            shared = [name for name in table.schema.attribute_names if name in target]
+            if not shared:
+                continue
+            if kind == Predicates.CONTEXT_MASTER:
+                key = shared
+            else:
+                key = [name for name in shared if "postcode" in name.lower()] or shared[:1]
+            return table, key
+        return None, []

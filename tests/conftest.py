@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Attribute, DataType, Schema, Table
+from repro.scenarios import ScenarioConfig, generate_scenario
+
+
+@pytest.fixture
+def person_schema() -> Schema:
+    """A tiny schema used by relational-layer tests."""
+    return Schema("person", [
+        Attribute("name", DataType.STRING),
+        Attribute("age", DataType.INTEGER),
+        Attribute("city", DataType.STRING),
+    ])
+
+
+@pytest.fixture
+def person_table(person_schema) -> Table:
+    """A tiny table used by relational-layer tests."""
+    return Table(person_schema, [
+        ("alice", 34, "Manchester"),
+        ("bob", 41, "Salford"),
+        ("carol", 29, "Manchester"),
+        ("dave", None, "Leeds"),
+    ])
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A small (fast) real-estate scenario shared by integration-style tests."""
+    return generate_scenario(ScenarioConfig(properties=150, postcodes=40, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario():
+    """An even smaller scenario for tests that run full orchestration."""
+    return generate_scenario(ScenarioConfig(properties=80, postcodes=25, seed=5))

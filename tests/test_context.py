@@ -1,0 +1,219 @@
+"""Unit tests for the user-context (AHP) and data-context components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context import (
+    ACCURACY,
+    COMPLETENESS,
+    CONSISTENCY,
+    RELEVANCE,
+    Criterion,
+    CriterionWeightTransducer,
+    DataContext,
+    PairwiseMatrix,
+    Preference,
+    UserContext,
+    consistency_ratio,
+    derive_weights,
+    verbal_strength,
+)
+from repro.core import KnowledgeBase, Predicates
+from repro.relational import Attribute, DataType, Schema, Table
+
+
+class TestCriterion:
+    def test_key_round_trip(self):
+        criterion = Criterion("completeness", "crimerank")
+        assert criterion.key == "completeness.crimerank"
+        assert Criterion.from_key(criterion.key) == criterion
+        assert Criterion.from_key("consistency") == Criterion("consistency")
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Criterion("beauty")
+
+    def test_constructors(self):
+        assert COMPLETENESS("street").dimension == "completeness"
+        assert ACCURACY().attribute == ""
+        assert CONSISTENCY("x").attribute == "x"
+        assert RELEVANCE().dimension == "relevance"
+
+    def test_str(self):
+        assert str(COMPLETENESS("street")) == "completeness of street"
+        assert str(CONSISTENCY()) == "consistency"
+
+
+class TestVerbalScale:
+    def test_paper_phrases(self):
+        assert verbal_strength("very strongly more important than") == 7.0
+        assert verbal_strength("strongly more important than") == 5.0
+        assert verbal_strength("moderately more important than") == 3.0
+
+    def test_short_forms_and_equal(self):
+        assert verbal_strength("equally") == 1.0
+        assert verbal_strength("extremely") == 9.0
+
+    def test_unknown_phrase_rejected(self):
+        with pytest.raises(ValueError):
+            verbal_strength("sort of better")
+
+
+class TestAhp:
+    def test_identity_matrix_gives_uniform_weights(self):
+        matrix = PairwiseMatrix.identity(["a", "b", "c"])
+        weights = matrix.weight_vector()
+        assert all(w == pytest.approx(1 / 3) for w in weights.values())
+        assert matrix.consistency_ratio() == pytest.approx(0.0)
+
+    def test_weights_follow_preferences(self):
+        matrix = PairwiseMatrix.from_comparisons(["a", "b"], {("a", "b"): 5.0})
+        weights = matrix.weight_vector()
+        assert weights["a"] > weights["b"]
+        assert weights["a"] / weights["b"] == pytest.approx(5.0, rel=1e-6)
+
+    def test_reciprocal_fill_in(self):
+        matrix = PairwiseMatrix.from_comparisons(["a", "b"], {("a", "b"): 3.0})
+        assert matrix.values[1, 0] == pytest.approx(1 / 3)
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(KeyError):
+            PairwiseMatrix.from_comparisons(["a"], {("a", "z"): 2.0})
+
+    def test_nonpositive_strength_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseMatrix.from_comparisons(["a", "b"], {("a", "b"): 0.0})
+
+    def test_derive_weights_validates_input(self):
+        with pytest.raises(ValueError):
+            derive_weights(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            derive_weights(np.array([[1.0, -1.0], [1.0, 1.0]]))
+
+    def test_consistent_matrix_has_zero_cr(self):
+        matrix = np.array([[1, 2, 4], [0.5, 1, 2], [0.25, 0.5, 1]], dtype=float)
+        assert consistency_ratio(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_contradictory_matrix_has_high_cr(self):
+        # a > b, b > c, but c > a: maximally inconsistent.
+        matrix = np.array([[1, 3, 1 / 3], [1 / 3, 1, 3], [3, 1 / 3, 1]], dtype=float)
+        assert consistency_ratio(matrix) > 0.1
+
+
+class TestUserContext:
+    def paper_context(self) -> UserContext:
+        context = UserContext()
+        context.prefer(COMPLETENESS("crimerank"), ACCURACY("type"),
+                       "very strongly more important than")
+        context.prefer(CONSISTENCY(), COMPLETENESS("bedrooms"),
+                       "strongly more important than")
+        context.prefer(COMPLETENESS("street"), COMPLETENESS("postcode"),
+                       "moderately more important than")
+        return context
+
+    def test_preference_strength_validation(self):
+        with pytest.raises(ValueError):
+            Preference(COMPLETENESS("a"), ACCURACY("b"), -1.0)
+
+    def test_from_phrase(self):
+        preference = Preference.from_phrase(COMPLETENESS("a"), "strongly", ACCURACY("b"))
+        assert preference.strength == 5.0
+
+    def test_weights_respect_stated_priorities(self):
+        weights = {c.key: w for c, w in self.paper_context().weights().items()}
+        assert weights["completeness.crimerank"] > weights["accuracy.type"]
+        assert weights["consistency"] > weights["completeness.bedrooms"]
+        assert weights["completeness.street"] > weights["completeness.postcode"]
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_dimension_weights_normalise(self):
+        dims = self.paper_context().dimension_weights()
+        assert sum(dims.values()) == pytest.approx(1.0)
+        assert dims["completeness"] > dims["accuracy"]
+
+    def test_attribute_weights_within_dimension(self):
+        scoped = self.paper_context().attribute_weights("completeness")
+        assert scoped["crimerank"] > scoped["postcode"]
+        assert sum(scoped.values()) == pytest.approx(1.0)
+
+    def test_empty_context_is_falsy(self):
+        context = UserContext()
+        assert not context
+        assert context.weights() == {}
+        assert context.dimension_weights() == {}
+        assert context.consistency_ratio() == 0.0
+
+    def test_assert_into_and_from_kb_round_trip(self):
+        kb = KnowledgeBase()
+        context = self.paper_context()
+        context.assert_into(kb)
+        assert kb.count(Predicates.PREFERENCE) == 3
+        assert kb.count(Predicates.CRITERION_WEIGHT) == len(context.criteria())
+        assert kb.has(Predicates.USER_CONTEXT_SET)
+        rebuilt = UserContext.from_kb(kb)
+        assert len(rebuilt) == 3
+        assert {c.key for c in rebuilt.criteria()} == {c.key for c in context.criteria()}
+
+    def test_reasserting_replaces_previous_context(self):
+        kb = KnowledgeBase()
+        self.paper_context().assert_into(kb)
+        other = UserContext().prefer(ACCURACY(), CONSISTENCY(), 3)
+        other.assert_into(kb)
+        assert kb.count(Predicates.PREFERENCE) == 1
+
+    def test_describe(self):
+        lines = self.paper_context().describe()
+        assert len(lines) == 3
+        assert "more important than" in lines[0]
+
+
+class TestDataContext:
+    def make_reference(self) -> Table:
+        schema = Schema("address", [Attribute("street"), Attribute("city"),
+                                    Attribute("postcode")])
+        return Table(schema, [("Oak Street", "Manchester", "M1 1AA")])
+
+    def test_bindings_and_kinds(self):
+        context = DataContext()
+        context.reference(self.make_reference(), "property")
+        assert len(context) == 1
+        assert context.bindings_of_kind(Predicates.CONTEXT_REFERENCE)
+        assert not context.bindings_of_kind(Predicates.CONTEXT_MASTER)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DataContext().bind(self.make_reference(), "bogus", "property")
+
+    def test_assert_into_registers_table_and_facts(self):
+        kb = KnowledgeBase()
+        context = DataContext().reference(self.make_reference(), "property")
+        added = context.assert_into(kb)
+        assert added == 1
+        assert kb.has("data_context", "address", "reference", "property")
+        assert kb.has_table("address")
+        assert kb.has(Predicates.DATA_CONTEXT_SET)
+
+    def test_attribute_map_defaults_to_identity(self):
+        binding = DataContext().reference(self.make_reference(), "property").bindings[0]
+        assert binding.mapped_attributes()["street"] == "street"
+
+    def test_describe(self):
+        context = DataContext().master(self.make_reference(), "property")
+        assert "master" in context.describe()[0]
+
+
+class TestCriterionWeightTransducer:
+    def test_derives_weights_from_preferences(self):
+        kb = KnowledgeBase()
+        kb.assert_fact(Predicates.PREFERENCE, "completeness.crimerank", "accuracy.type", 7.0)
+        transducer = CriterionWeightTransducer()
+        assert transducer.can_run(kb)
+        result = transducer.execute(kb)
+        assert result.facts_added == 2
+        weights = dict(kb.facts(Predicates.CRITERION_WEIGHT))
+        assert weights["completeness.crimerank"] > weights["accuracy.type"]
+
+    def test_not_runnable_without_preferences(self):
+        assert not CriterionWeightTransducer().can_run(KnowledgeBase())

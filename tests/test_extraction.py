@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic deep-web extraction substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KnowledgeBase, Predicates
+from repro.extraction import (
+    DataExtractionTransducer,
+    ExtractionRule,
+    NoiseInjector,
+    NoiseProfile,
+    SiteTemplate,
+    SiteWrapper,
+    SyntheticSite,
+    WebExtractor,
+    induce_wrapper,
+    register_web_source,
+)
+from repro.relational import DataType
+
+TEMPLATE = SiteTemplate(
+    name="rightmove",
+    field_labels={
+        "price": "Price",
+        "street": "Street",
+        "postcode": "Postcode",
+        "bedrooms": "Bedrooms",
+        "type": "Property type",
+        "description": "Description",
+    },
+    price_format="currency",
+)
+
+RECORDS = [
+    {"price": 325000.0, "street": "Oak Street", "postcode": "M1 1AA", "bedrooms": 3,
+     "type": "detached", "description": "A lovely home"},
+    {"price": 150000.0, "street": "Elm Road", "postcode": "M5 3CC", "bedrooms": 2,
+     "type": "flat", "description": "Compact and bijou"},
+    {"price": 410000.0, "street": "Mill Lane", "postcode": "SK1 2EF", "bedrooms": None,
+     "type": "bungalow", "description": None},
+]
+
+HINTS = {
+    "price": ("price",),
+    "street": ("street",),
+    "postcode": ("postcode",),
+    "bedrooms": ("bedroom",),
+    "type": ("type",),
+    "description": ("description",),
+}
+
+
+class TestPages:
+    def test_pagination(self):
+        site = SyntheticSite(TEMPLATE, page_size=2)
+        pages = site.render_pages(RECORDS)
+        assert len(pages) == 2
+        assert len(pages[0]) == 2
+        assert len(pages[1]) == 1
+        assert pages[0].page_number == 1
+
+    def test_currency_formatting_and_dropped_nulls(self):
+        site = SyntheticSite(TEMPLATE)
+        listing = site.render_pages(RECORDS)[0].listings[0]
+        fields = listing.field_dict()
+        assert fields["Price"] == "£325,000"
+        missing = site.render_pages(RECORDS)[0].listings[2].field_dict()
+        assert "Bedrooms" not in missing
+        assert "Description" not in missing
+
+    def test_dropped_fields_never_rendered(self):
+        template = SiteTemplate("minimal", {"price": "Price"}, dropped_fields=("price",))
+        listing = SyntheticSite(template).render_pages(RECORDS)[0].listings[0]
+        assert "Price" not in listing.field_dict()
+        assert "price" not in listing.field_dict()
+
+    def test_render_text(self):
+        page = SyntheticSite(TEMPLATE).render_pages(RECORDS)[0]
+        text = page.render()
+        assert "rightmove" in text
+        assert "Oak Street" in text
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            SyntheticSite(TEMPLATE, page_size=0)
+
+
+class TestNoise:
+    def test_missing_rates(self):
+        profile = NoiseProfile(missing_rates={"description": 1.0})
+        noisy = NoiseInjector(profile, seed=1).corrupt_records(RECORDS)
+        assert all(record["description"] is None for record in noisy)
+
+    def test_bedroom_area_error(self):
+        profile = NoiseProfile(bedroom_area_rate=1.0)
+        noisy = NoiseInjector(profile, seed=1).corrupt_records(RECORDS[:2])
+        assert all(record["bedrooms"] >= 90 for record in noisy)
+
+    def test_street_typos_change_text(self):
+        profile = NoiseProfile(street_typo_rate=1.0)
+        noisy = NoiseInjector(profile, seed=1).corrupt_records(RECORDS)
+        assert any(record["street"] != original["street"]
+                   for record, original in zip(noisy, RECORDS))
+
+    def test_postcode_drift(self):
+        profile = NoiseProfile(postcode_format_rate=1.0)
+        noisy = NoiseInjector(profile, seed=2).corrupt_records(RECORDS * 5)
+        assert any(record["postcode"] != original["postcode"]
+                   for record, original in zip(noisy, RECORDS * 5))
+
+    def test_originals_not_mutated(self):
+        profile = NoiseProfile(missing_rates={"price": 1.0})
+        NoiseInjector(profile, seed=0).corrupt_records(RECORDS)
+        assert RECORDS[0]["price"] == 325000.0
+
+    def test_determinism_per_seed(self):
+        profile = NoiseProfile(street_typo_rate=0.5, bedroom_area_rate=0.5)
+        first = NoiseInjector(profile, seed=7).corrupt_records(RECORDS)
+        second = NoiseInjector(profile, seed=7).corrupt_records(RECORDS)
+        assert first == second
+
+
+class TestWrapperAndExtractor:
+    def pages(self):
+        return SyntheticSite(TEMPLATE).render_pages(RECORDS)
+
+    def test_induced_wrapper_maps_labels_to_attributes(self):
+        wrapper = induce_wrapper("rightmove", self.pages(), HINTS)
+        assert set(wrapper.attributes()) == {"price", "street", "postcode", "bedrooms",
+                                             "type", "description"}
+
+    def test_extraction_round_trip(self):
+        wrapper = induce_wrapper("rightmove", self.pages(), HINTS)
+        table = WebExtractor(wrapper).extract(self.pages())
+        assert table.name == "rightmove"
+        assert len(table) == 3
+        prices = sorted(v for v in table.column("price") if v is not None)
+        assert prices == [150000.0, 325000.0, 410000.0]
+        assert table.schema.dtype("price") in (DataType.FLOAT, DataType.INTEGER)
+        assert table.column("bedrooms")[2] is None
+
+    def test_hand_written_wrapper(self):
+        wrapper = SiteWrapper("rightmove", (
+            ExtractionRule("price", "Price"),
+            ExtractionRule("street", "Street"),
+        ))
+        records = wrapper.extract_pages(self.pages())
+        assert records[0]["street"] == "Oak Street"
+
+    def test_unhinted_labels_keep_normalised_names(self):
+        wrapper = induce_wrapper("rightmove", self.pages(), {"price": ("price",)})
+        assert "property_type" in wrapper.attributes()
+
+    def test_empty_pages_give_empty_wrapper(self):
+        assert induce_wrapper("rightmove", [], HINTS).rules == ()
+
+
+class TestExtractionTransducer:
+    def test_extracts_registered_web_sources(self):
+        kb = KnowledgeBase()
+        kb_pages = SyntheticSite(TEMPLATE).render_pages(RECORDS)
+        transducer = DataExtractionTransducer()
+        assert not transducer.can_run(kb)
+        register_web_source(kb, "rightmove", kb_pages)
+        assert transducer.can_run(kb)
+        outcome = transducer.execute(kb)
+        assert "rightmove" in outcome.tables_written
+        assert kb.has_table("rightmove")
+        assert kb.source_relations() == ["rightmove"]
+        assert len(kb.get_table("rightmove")) == 3
+
+    def test_hand_written_wrapper_takes_precedence(self):
+        kb = KnowledgeBase()
+        pages = SyntheticSite(TEMPLATE).render_pages(RECORDS)
+        wrapper = SiteWrapper("rightmove", (ExtractionRule("price", "Price"),))
+        register_web_source(kb, "rightmove", pages, wrapper=wrapper)
+        DataExtractionTransducer().execute(kb)
+        assert kb.get_table("rightmove").schema.attribute_names == ("price",)

@@ -1,0 +1,253 @@
+"""Unit tests for similarity measures, matchers and matching transducers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KnowledgeBase, Predicates
+from repro.matching import (
+    Correspondence,
+    InstanceMatcher,
+    InstanceMatcherConfig,
+    InstanceMatchingTransducer,
+    MatchSet,
+    SchemaMatcher,
+    SchemaMatcherConfig,
+    SchemaMatchingTransducer,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    name_similarity,
+    ngram_similarity,
+    normalise_name,
+    numeric_overlap,
+    token_set_similarity,
+)
+from repro.relational import Attribute, DataType, Schema, Table
+
+
+class TestStringSimilarity:
+    def test_levenshtein_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("same", "same") == 0
+
+    def test_levenshtein_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+
+    def test_jaro_winkler_prefers_shared_prefix(self):
+        assert jaro_winkler_similarity("crime", "crimerank") > 0.85
+        assert jaro_winkler_similarity("abc", "abc") == 1.0
+        assert jaro_winkler_similarity("abc", "") == 0.0
+
+    def test_ngram_similarity(self):
+        assert ngram_similarity("postcode", "postcode") == 1.0
+        assert ngram_similarity("postcode", "zipcode") > 0.2
+        assert ngram_similarity("", "") == 1.0
+        assert ngram_similarity("a", "") == 0.0
+
+    def test_jaccard_and_tokens(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert token_set_similarity("property type", "type of property") == pytest.approx(2 / 3)
+
+    def test_numeric_overlap(self):
+        assert numeric_overlap([0, 10], [5, 15]) == pytest.approx(5 / 15)
+        assert numeric_overlap([0, 1], [5, 6]) == 0.0
+        assert numeric_overlap([], [1]) == 0.0
+
+
+class TestNameSimilarity:
+    def test_normalisation_unifies_conventions(self):
+        assert normalise_name("propertyType") == normalise_name("property_type")
+        assert normalise_name("PROPERTY TYPE") == "property type"
+        assert "bedrooms" in normalise_name("beds")
+        assert "postcode" in normalise_name("zip")
+
+    def test_identical_names(self):
+        assert name_similarity("price", "price") == 1.0
+
+    def test_abbreviations_match(self):
+        assert name_similarity("beds", "bedrooms") > 0.9
+        assert name_similarity("post_code", "postcode") > 0.7
+        assert name_similarity("desc", "description") > 0.9
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("price", "crimerank") < 0.5
+        assert name_similarity("description", "bedrooms") < 0.5
+
+    def test_prefix_extension_matches(self):
+        assert name_similarity("crime", "crimerank") >= 0.8
+
+
+class TestCorrespondence:
+    def test_score_bounds(self):
+        with pytest.raises(ValueError):
+            Correspondence("s", "a", "t", "b", 1.5)
+
+    def test_with_score_clamps(self):
+        c = Correspondence("s", "a", "t", "b", 0.5)
+        assert c.with_score(2.0).score == 1.0
+        assert c.with_score(-1.0).score == 0.0
+
+    def test_match_set_keeps_best_score(self):
+        matches = MatchSet()
+        matches.add(Correspondence("s", "a", "t", "b", 0.4))
+        matches.add(Correspondence("s", "a", "t", "b", 0.8))
+        assert len(matches) == 1
+        assert matches.get(("s", "a", "t", "b")).score == 0.8
+
+    def test_match_set_combine_modes(self):
+        base = Correspondence("s", "a", "t", "b", 0.4)
+        matches = MatchSet([base])
+        matches.add(base.with_score(0.8), combine="mean")
+        assert matches.get(base.pair).score == pytest.approx(0.6)
+        matches.add(base.with_score(0.2), combine="replace")
+        assert matches.get(base.pair).score == pytest.approx(0.2)
+
+    def test_filters(self):
+        matches = MatchSet([
+            Correspondence("s1", "a", "t", "x", 0.9),
+            Correspondence("s2", "b", "t", "y", 0.3),
+        ])
+        assert len(matches.above(0.5)) == 1
+        assert len(matches.for_source("s2")) == 1
+        assert matches.source_relations() == ["s1", "s2"]
+
+    def test_best_per_target_attribute(self):
+        matches = MatchSet([
+            Correspondence("s", "a1", "t", "x", 0.7),
+            Correspondence("s", "a2", "t", "x", 0.9),
+        ])
+        best = matches.best_per_target_attribute("s", "t")
+        assert best["x"].source_attribute == "a2"
+
+    def test_kb_round_trip_and_replace(self):
+        kb = KnowledgeBase()
+        MatchSet([Correspondence("s", "a", "t", "x", 0.7)]).assert_into(kb)
+        assert kb.count(Predicates.MATCH) == 1
+        MatchSet([Correspondence("s", "a", "t", "x", 0.9)]).assert_into(kb, replace=True)
+        assert kb.count(Predicates.MATCH) == 1
+        loaded = MatchSet.from_kb(kb)
+        assert loaded.get(("s", "a", "t", "x")).score == 0.9
+
+
+SOURCE_SCHEMA = Schema("onthemarket", [
+    Attribute("asking_price", DataType.FLOAT),
+    Attribute("address_street", DataType.STRING),
+    Attribute("post_code", DataType.STRING),
+    Attribute("beds", DataType.INTEGER),
+    Attribute("property_type", DataType.STRING),
+    Attribute("summary", DataType.STRING),
+])
+
+TARGET_SCHEMA = Schema("property", [
+    Attribute("type", DataType.STRING),
+    Attribute("description", DataType.STRING),
+    Attribute("street", DataType.STRING),
+    Attribute("postcode", DataType.STRING),
+    Attribute("bedrooms", DataType.INTEGER),
+    Attribute("price", DataType.FLOAT),
+    Attribute("crimerank", DataType.INTEGER),
+])
+
+
+class TestSchemaMatcher:
+    def test_matches_renamed_attributes(self):
+        matches = SchemaMatcher().match(SOURCE_SCHEMA, TARGET_SCHEMA)
+        best = matches.best_per_target_attribute("onthemarket", "property")
+        assert best["price"].source_attribute == "asking_price"
+        assert best["street"].source_attribute == "address_street"
+        assert best["postcode"].source_attribute == "post_code"
+        assert best["bedrooms"].source_attribute == "beds"
+
+    def test_type_mismatch_penalised(self):
+        matcher = SchemaMatcher()
+        compatible = matcher.score("price", DataType.FLOAT, "price", DataType.FLOAT)
+        mismatched = matcher.score("price", DataType.STRING, "price", DataType.INTEGER)
+        assert mismatched < compatible
+
+    def test_threshold_filters_weak_matches(self):
+        strict = SchemaMatcher(SchemaMatcherConfig(threshold=0.95))
+        matches = strict.match(SOURCE_SCHEMA, TARGET_SCHEMA)
+        assert all(c.score >= 0.95 for c in matches)
+
+    def test_match_many(self):
+        other = Schema("deprivation", [Attribute("postcode", DataType.STRING),
+                                       Attribute("crime", DataType.INTEGER)])
+        matches = SchemaMatcher().match_many([SOURCE_SCHEMA, other], TARGET_SCHEMA)
+        assert matches.get(("deprivation", "crime", "property", "crimerank")) is not None
+
+
+class TestInstanceMatcher:
+    def make_tables(self):
+        source = Table(Schema("src", [Attribute("pc", DataType.STRING),
+                                      Attribute("cost", DataType.FLOAT)]),
+                       [("M1 1AA", 100.0), ("M2 2BB", 200.0), ("M3 3CC", 300.0)])
+        context = Table(Schema("ref", [Attribute("postcode", DataType.STRING),
+                                       Attribute("price", DataType.FLOAT)]),
+                        [("M1 1AA", 110.0), ("M2 2BB", 190.0), ("M9 9ZZ", 500.0)])
+        return source, context
+
+    def test_value_overlap_matches_columns_despite_names(self):
+        source, context = self.make_tables()
+        matches = InstanceMatcher(InstanceMatcherConfig(threshold=0.2)).match(
+            source, context, target_relation="property")
+        assert matches.get(("src", "pc", "property", "postcode")) is not None
+
+    def test_numeric_columns_never_match_string_columns(self):
+        source, context = self.make_tables()
+        matcher = InstanceMatcher(InstanceMatcherConfig(threshold=0.01))
+        matches = matcher.match(source, context, target_relation="property")
+        assert matches.get(("src", "cost", "property", "postcode")) is None
+
+    def test_column_similarity_bounds(self):
+        matcher = InstanceMatcher()
+        assert matcher.column_similarity(["a", "b"], ["a", "b"]) == 1.0
+        assert matcher.column_similarity(["a"], [1.0]) == 0.0
+
+
+class TestMatchingTransducers:
+    def setup_kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        source = Table(SOURCE_SCHEMA, [(250000.0, "Oak Street", "M1 1AA", 3, "flat", "nice")])
+        kb.register_table(source, Predicates.ROLE_SOURCE)
+        kb.describe_schema(TARGET_SCHEMA, Predicates.ROLE_TARGET)
+        return kb
+
+    def test_schema_matching_dependencies_and_output(self):
+        kb = KnowledgeBase()
+        transducer = SchemaMatchingTransducer()
+        assert not transducer.can_run(kb)
+        kb = self.setup_kb()
+        assert transducer.can_run(kb)
+        result = transducer.execute(kb)
+        assert result.facts_added > 0
+        assert kb.count(Predicates.MATCH) == result.facts_added
+
+    def test_instance_matching_needs_data_context(self):
+        kb = self.setup_kb()
+        transducer = InstanceMatchingTransducer()
+        assert not transducer.can_run(kb)
+        reference = Table(Schema("address", [Attribute("street"), Attribute("postcode")]),
+                          [("Oak Street", "M1 1AA")])
+        kb.register_table(reference, Predicates.ROLE_CONTEXT)
+        kb.assert_fact(Predicates.DATA_CONTEXT, "address", "reference", "property")
+        assert transducer.can_run(kb)
+        result = transducer.execute(kb)
+        matches = MatchSet.from_kb(kb)
+        assert matches.get(("onthemarket", "post_code", "property", "postcode")) is not None
+        assert result.facts_added >= 1
+
+    def test_instance_matching_refines_existing_scores(self):
+        kb = self.setup_kb()
+        kb.assert_fact(Predicates.MATCH, "onthemarket", "post_code", "property", "postcode", 0.2)
+        reference = Table(Schema("address", [Attribute("street"), Attribute("postcode")]),
+                          [("Oak Street", "M1 1AA")])
+        kb.register_table(reference, Predicates.ROLE_CONTEXT)
+        kb.assert_fact(Predicates.DATA_CONTEXT, "address", "reference", "property")
+        InstanceMatchingTransducer().execute(kb)
+        best = MatchSet.from_kb(kb).get(("onthemarket", "post_code", "property", "postcode"))
+        assert best.score > 0.2

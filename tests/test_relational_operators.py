@@ -1,0 +1,252 @@
+"""Unit tests for expressions, relational operators, CSV I/O, catalog and keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    Aggregation,
+    Attribute,
+    Catalog,
+    CsvFormatError,
+    DataType,
+    Schema,
+    SchemaError,
+    Table,
+    TableAlreadyExistsError,
+    TableNotFoundError,
+    col,
+    difference,
+    distinct,
+    extend,
+    group_by,
+    join,
+    left_outer_join,
+    limit,
+    lit,
+    natural_join,
+    normalise_key,
+    normalise_key_tuple,
+    project,
+    read_csv,
+    read_csv_text,
+    rename_attributes,
+    select,
+    sort,
+    union,
+    union_all,
+    write_csv,
+    write_csv_text,
+)
+
+
+class TestExpressions:
+    def test_comparison_and_boolean(self, person_table):
+        young_mancunians = select(person_table, (col("age") < 40) & (col("city") == "Manchester"))
+        assert {row["name"] for row in young_mancunians} == {"alice", "carol"}
+
+    def test_null_comparisons_are_false(self, person_table):
+        assert {row["name"] for row in select(person_table, col("age") > 0)} == {
+            "alice", "bob", "carol"}
+
+    def test_is_null_predicates(self, person_table):
+        assert [row["name"] for row in select(person_table, col("age").is_null())] == ["dave"]
+        assert len(select(person_table, col("age").is_not_null())) == 3
+
+    def test_arithmetic_and_literal(self, person_table):
+        with_decade = extend(person_table, "decade", (col("age") / lit(10)))
+        assert with_decade[0]["decade"] == pytest.approx(3.4)
+        assert with_decade[3]["decade"] is None
+
+    def test_not_and_or(self, person_table):
+        outside = select(person_table, ~(col("city") == "Manchester") | (col("age") > 100))
+        assert {row["name"] for row in outside} == {"bob", "dave"}
+
+    def test_callable_predicate(self, person_table):
+        result = select(person_table, lambda row: row["name"].startswith("a"))
+        assert len(result) == 1
+
+
+class TestProjectRenameExtend:
+    def test_project(self, person_table):
+        narrowed = project(person_table, ["name"])
+        assert narrowed.schema.attribute_names == ("name",)
+        assert len(narrowed) == 4
+
+    def test_rename_attributes(self, person_table):
+        renamed = rename_attributes(person_table, {"name": "full_name"})
+        assert renamed.column("full_name")[0] == "alice"
+
+    def test_extend_duplicate_name_raises(self, person_table):
+        with pytest.raises(SchemaError):
+            extend(person_table, "name", lit("x"))
+
+
+class TestJoins:
+    @pytest.fixture
+    def cities(self):
+        schema = Schema("cities", [Attribute("city", DataType.STRING),
+                                   Attribute("region", DataType.STRING)])
+        return Table(schema, [("Manchester", "North West"), ("Leeds", "Yorkshire")])
+
+    def test_inner_join(self, person_table, cities):
+        joined = join(person_table, cities, [("city", "city")])
+        assert len(joined) == 3
+        assert set(joined.schema.attribute_names) == {"name", "age", "city", "region"}
+
+    def test_left_outer_join_pads_nulls(self, person_table, cities):
+        joined = left_outer_join(person_table, cities, [("city", "city")])
+        assert len(joined) == 4
+        unmatched = [row for row in joined if row["city"] == "Salford"][0]
+        assert unmatched["region"] is None
+
+    def test_natural_join(self, person_table, cities):
+        assert len(natural_join(person_table, cities)) == 3
+
+    def test_natural_join_without_shared_attributes_raises(self, person_table):
+        other = Table(Schema("o", ["x"]), [("1",)])
+        with pytest.raises(SchemaError):
+            natural_join(person_table, other)
+
+    def test_join_requires_keys(self, person_table, cities):
+        with pytest.raises(SchemaError):
+            join(person_table, cities, [])
+
+    def test_null_keys_never_match(self, cities):
+        schema = Schema("p", ["name", "city"])
+        people = Table(schema, [("x", None)])
+        assert len(join(people, cities, [("city", "city")])) == 0
+
+
+class TestSetOperators:
+    def test_union_all_and_union(self, person_schema):
+        left = Table(person_schema, [("a", 1, "X")])
+        right = Table(person_schema, [("a", 1, "X"), ("b", 2, "Y")])
+        assert len(union_all(left, right)) == 3
+        assert len(union(left, right)) == 2
+
+    def test_union_incompatible_raises(self, person_table):
+        other = Table(Schema("o", ["only"]), [("x",)])
+        with pytest.raises(SchemaError):
+            union_all(person_table, other)
+
+    def test_difference(self, person_schema):
+        left = Table(person_schema, [("a", 1, "X"), ("b", 2, "Y")])
+        right = Table(person_schema, [("a", 1, "X")])
+        assert len(difference(left, right)) == 1
+
+    def test_distinct_on_subset(self, person_table):
+        assert len(distinct(person_table, ["city"])) == 3
+
+
+class TestSortLimitAggregate:
+    def test_sort_nulls_last(self, person_table):
+        ordered = sort(person_table, ["age"])
+        assert ordered[-1]["name"] == "dave"
+        assert ordered[0]["name"] == "carol"
+
+    def test_sort_descending(self, person_table):
+        ordered = sort(person_table, ["age"], descending=True)
+        assert ordered[0]["name"] == "bob"
+
+    def test_limit(self, person_table):
+        assert len(limit(person_table, 2)) == 2
+
+    def test_group_by(self, person_table):
+        grouped = group_by(person_table, ["city"], [Aggregation("count", "name"),
+                                                    Aggregation("avg", "age")])
+        by_city = {row["city"]: row for row in grouped}
+        assert by_city["Manchester"]["count_name"] == 2
+        assert by_city["Manchester"]["avg_age"] == pytest.approx(31.5)
+        assert by_city["Leeds"]["avg_age"] is None
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(SchemaError):
+            Aggregation("median", "age")
+
+    def test_aggregate_whole_table(self, person_table):
+        summary = group_by(person_table, [], [Aggregation("max", "age", "oldest"),
+                                              Aggregation("count_distinct", "city")])
+        assert summary[0]["oldest"] == 41
+        assert summary[0]["count_distinct_city"] == 3
+
+
+class TestCsvIo:
+    def test_round_trip_text(self, person_table):
+        text = write_csv_text(person_table)
+        parsed = read_csv_text(text, name="person")
+        assert parsed.column("name") == person_table.column("name")
+        assert parsed[3]["age"] is None
+
+    def test_round_trip_file(self, tmp_path, person_table):
+        path = tmp_path / "people.csv"
+        write_csv(person_table, path)
+        loaded = read_csv(path)
+        assert loaded.name == "people"
+        assert len(loaded) == 4
+
+    def test_empty_input_raises(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("", name="empty")
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("a,b\n1\n", name="bad")
+
+    def test_duplicate_header_raises(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("a,a\n1,2\n", name="bad")
+
+    def test_explicit_schema_must_match_header(self, person_schema):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("x,y,z\n1,2,3\n", name="person", schema=person_schema)
+
+
+class TestCatalog:
+    def test_register_and_get(self, person_table):
+        catalog = Catalog()
+        catalog.register(person_table)
+        assert catalog.get("person") is person_table
+        assert "person" in catalog
+        assert catalog.total_rows() == 4
+
+    def test_duplicate_registration_raises(self, person_table):
+        catalog = Catalog()
+        catalog.register(person_table)
+        with pytest.raises(TableAlreadyExistsError):
+            catalog.register(person_table)
+        catalog.replace(person_table)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            Catalog().get("nope")
+
+    def test_register_under_alias(self, person_table):
+        catalog = Catalog()
+        catalog.register(person_table, name="people")
+        assert catalog.get("people").name == "people"
+
+    def test_flush_and_reload(self, tmp_path, person_table):
+        catalog = Catalog(tmp_path)
+        catalog.register(person_table)
+        written = catalog.flush()
+        assert len(written) == 1
+        fresh = Catalog(tmp_path)
+        assert fresh.load_directory() == ["person"]
+        assert len(fresh.get("person")) == 4
+
+
+class TestKeys:
+    def test_strings_lose_case_and_whitespace(self):
+        assert normalise_key("M1  1AA") == "m11aa"
+        assert normalise_key(" Oak Street ") == "oakstreet"
+
+    def test_integral_floats_become_ints(self):
+        assert normalise_key(325000.0) == 325000
+
+    def test_null_maps_to_none(self):
+        assert normalise_key(None) is None
+        assert normalise_key(float("nan")) is None
+
+    def test_tuple_helper(self):
+        assert normalise_key_tuple(["M1 1AA", 3.0]) == ("m11aa", 3)

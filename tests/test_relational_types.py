@@ -1,0 +1,150 @@
+"""Unit tests for repro.relational.types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.relational.errors import TypeCoercionError
+from repro.relational.types import (
+    NULL,
+    DataType,
+    coerce_value,
+    infer_common_type,
+    infer_type,
+    is_null,
+    parse_literal,
+)
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_nan_is_null(self):
+        assert is_null(float("nan"))
+
+    def test_zero_is_not_null(self):
+        assert not is_null(0)
+
+    def test_empty_string_is_not_null(self):
+        assert not is_null("")
+
+    def test_false_is_not_null(self):
+        assert not is_null(False)
+
+
+class TestDataType:
+    def test_from_name_aliases(self):
+        assert DataType.from_name("str") is DataType.STRING
+        assert DataType.from_name("int") is DataType.INTEGER
+        assert DataType.from_name("double") is DataType.FLOAT
+        assert DataType.from_name("bool") is DataType.BOOLEAN
+        assert DataType.from_name("ANY") is DataType.ANY
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(TypeCoercionError):
+            DataType.from_name("blob")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+
+
+class TestCoerceValue:
+    def test_null_passes_through(self):
+        assert coerce_value(None, DataType.INTEGER) is NULL
+
+    def test_string_to_integer(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_string_with_thousands_separator(self):
+        assert coerce_value("1,250", DataType.INTEGER) == 1250
+
+    def test_float_string_to_integer_when_integral(self):
+        assert coerce_value("3.0", DataType.INTEGER) == 3
+
+    def test_non_integral_float_to_integer_raises(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(3.5, DataType.INTEGER)
+
+    def test_currency_string_to_float(self):
+        assert coerce_value("£325,000", DataType.FLOAT) == pytest.approx(325000.0)
+
+    def test_bool_strings(self):
+        assert coerce_value("yes", DataType.BOOLEAN) is True
+        assert coerce_value("No", DataType.BOOLEAN) is False
+
+    def test_bad_boolean_raises(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_to_string(self):
+        assert coerce_value(12, DataType.STRING) == "12"
+        assert coerce_value(True, DataType.STRING) == "true"
+
+    def test_any_passes_through(self):
+        assert coerce_value("anything", DataType.ANY) == "anything"
+
+    def test_bad_integer_raises(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("abc", DataType.INTEGER)
+
+
+class TestInferType:
+    def test_none_is_any(self):
+        assert infer_type(None) is DataType.ANY
+
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_int_and_float(self):
+        assert infer_type(3) is DataType.INTEGER
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_numeric_strings(self):
+        assert infer_type("42") is DataType.INTEGER
+        assert infer_type("4.2") is DataType.FLOAT
+
+    def test_plain_string(self):
+        assert infer_type("hello") is DataType.STRING
+
+    def test_boolean_string(self):
+        assert infer_type("true") is DataType.BOOLEAN
+
+
+class TestInferCommonType:
+    def test_all_same(self):
+        assert infer_common_type([DataType.INTEGER, DataType.INTEGER]) is DataType.INTEGER
+
+    def test_numeric_widens_to_float(self):
+        assert infer_common_type([DataType.INTEGER, DataType.FLOAT]) is DataType.FLOAT
+
+    def test_mixed_widens_to_string(self):
+        assert infer_common_type([DataType.INTEGER, DataType.STRING]) is DataType.STRING
+
+    def test_any_is_ignored(self):
+        assert infer_common_type([DataType.ANY, DataType.INTEGER]) is DataType.INTEGER
+
+    def test_all_any(self):
+        assert infer_common_type([DataType.ANY, DataType.ANY]) is DataType.ANY
+
+
+class TestParseLiteral:
+    def test_empty_and_null_spellings(self):
+        for text in ("", "  ", "null", "None", "NA", "n/a", "NaN"):
+            assert parse_literal(text) is NULL
+
+    def test_numbers(self):
+        assert parse_literal("7") == 7
+        assert parse_literal("7.5") == pytest.approx(7.5)
+
+    def test_strings_are_stripped(self):
+        assert parse_literal("  hello world ") == "hello world"
+
+    def test_booleans(self):
+        assert parse_literal("true") is True
+        assert parse_literal("false") is False

@@ -1,0 +1,190 @@
+"""Integration tests for the Wrangler facade and the full transducer complement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    COMPLETENESS,
+    ACCURACY,
+    CONSISTENCY,
+    Predicates,
+    UserContext,
+    Wrangler,
+    WranglerConfig,
+    build_default_registry,
+)
+from repro.core.orchestrator import PreferInstanceMatchingPolicy
+from repro.mapping.model import PROVENANCE_ROW_ID, PROVENANCE_SOURCE
+
+
+class TestDefaultRegistry:
+    def test_contains_the_papers_transducers(self):
+        registry = build_default_registry()
+        names = set(registry.names())
+        assert {"data_extraction", "schema_matching", "instance_matching",
+                "mapping_generation", "mapping_selection", "cfd_learning",
+                "quality_metrics", "mapping_evaluation"} <= names
+
+    def test_optional_components_can_be_disabled(self):
+        config = WranglerConfig(enable_fusion=False, enable_repair=False,
+                                enable_source_selection=False)
+        names = set(build_default_registry(config).names())
+        assert "data_fusion" not in names
+        assert "data_repair" not in names
+        assert "source_selection" not in names
+
+    def test_table1_style_description(self):
+        registry = build_default_registry()
+        rows = registry.describe()
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["schema_matching"]["input_dependencies"] == [
+            "schema(S, source)", "schema(T, target)"]
+        assert by_name["instance_matching"]["input_dependencies"] == [
+            "dataset(S, source, N)", "data_context(C, K, T)"]
+        assert by_name["mapping_selection"]["input_dependencies"] == ["mapping_score(M, C, V)"]
+        assert by_name["cfd_learning"]["input_dependencies"] == ["data_context(C, K, T)"]
+
+
+class TestWranglerBootstrap:
+    def test_bootstrap_produces_a_result(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        outcome = wrangler.run("bootstrap", ground_truth=tiny_scenario.ground_truth)
+        assert outcome.table is not None
+        assert outcome.row_count > 0
+        assert outcome.selected_mapping is not None
+        assert outcome.quality is not None
+        assert outcome.steps_executed > 0
+        # result columns follow the target schema plus provenance columns
+        names = outcome.table.schema.attribute_names
+        assert set(tiny_scenario.target.attribute_names) <= set(names)
+        assert PROVENANCE_SOURCE in names and PROVENANCE_ROW_ID in names
+
+    def test_no_result_before_running(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_source(tiny_scenario.rightmove)
+        wrangler.set_target_schema(tiny_scenario.target)
+        assert wrangler.result() is None
+        assert wrangler.selected_mapping() is None
+        assert wrangler.evaluate() is None
+
+    def test_target_schema_required_for_result_name(self):
+        with pytest.raises(ValueError):
+            Wrangler().result_name()
+
+    def test_trace_is_browsable(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        text = wrangler.trace.to_text()
+        assert "schema_matching" in text
+        assert wrangler.trace.summary()["by_phase"]["bootstrap"] > 0
+
+    def test_runs_are_idempotent_without_new_information(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        first = wrangler.run("bootstrap")
+        second = wrangler.run("again")
+        assert first.steps_executed > 0
+        assert second.steps_executed == 0
+
+    def test_manual_actions_counts_interactions(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        base = wrangler.manual_actions()
+        assert base == 4  # three sources + one target schema
+        wrangler.run("bootstrap")
+        wrangler.add_reference_data(tiny_scenario.address_reference)
+        assert wrangler.manual_actions() >= base + 1
+
+
+class TestWranglerPayAsYouGo:
+    def test_data_context_triggers_dormant_transducers(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        ran_before = set(wrangler.trace.execution_counts())
+        assert "instance_matching" not in ran_before
+        assert "cfd_learning" not in ran_before
+
+        wrangler.add_reference_data(tiny_scenario.address_reference)
+        outcome = wrangler.run("data_context")
+        ran_after = set(wrangler.trace.execution_counts())
+        assert "instance_matching" in ran_after
+        assert "cfd_learning" in ran_after
+        assert outcome.steps_executed > 0
+        assert wrangler.kb.count(Predicates.CFD) > 0
+
+    def test_feedback_triggers_mapping_evaluation(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        added = wrangler.simulate_feedback(tiny_scenario.ground_truth, budget=20, seed=2)
+        assert added > 0
+        wrangler.run("feedback")
+        counts = wrangler.trace.execution_counts()
+        assert counts.get("mapping_evaluation", 0) >= 1
+        assert counts.get("feedback_repair", 0) >= 1
+
+    def test_user_context_changes_weights_and_reselects(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        selections_before = wrangler.trace.execution_counts().get("mapping_selection", 0)
+        context = UserContext()
+        context.prefer(COMPLETENESS("crimerank"), ACCURACY("type"), "very strongly")
+        context.prefer(CONSISTENCY(), COMPLETENESS("bedrooms"), "strongly")
+        wrangler.set_user_context(context)
+        wrangler.run("user_context")
+        assert wrangler.kb.count(Predicates.CRITERION_WEIGHT) > 0
+        selections_after = wrangler.trace.execution_counts().get("mapping_selection", 0)
+        assert selections_after > selections_before
+
+    def test_manual_feedback_api(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        result = wrangler.result()
+        row_key = result[0][PROVENANCE_ROW_ID]
+        wrangler.feedback_on_attribute(str(row_key), "bedrooms", correct=False)
+        wrangler.feedback_on_tuple(str(row_key), correct=True)
+        assert wrangler.kb.count(Predicates.FEEDBACK) == 2
+
+    def test_custom_policy_is_used(self, tiny_scenario):
+        wrangler = Wrangler(policy=PreferInstanceMatchingPolicy())
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.add_reference_data(tiny_scenario.address_reference)
+        wrangler.run("all_at_once")
+        counts = wrangler.trace.execution_counts()
+        assert counts.get("instance_matching", 0) >= 1
+
+    def test_web_source_path(self, tiny_scenario):
+        wrangler = Wrangler()
+        pages = tiny_scenario.web_pages()
+        wrangler.add_web_source("rightmove", pages["rightmove"])
+        wrangler.add_web_source("onthemarket", pages["onthemarket"])
+        wrangler.add_source(tiny_scenario.deprivation)
+        wrangler.set_target_schema(tiny_scenario.target)
+        outcome = wrangler.run("bootstrap")
+        assert wrangler.trace.execution_counts().get("data_extraction", 0) == 1
+        assert wrangler.kb.has_table("rightmove")
+        assert outcome.row_count > 0
+
+    def test_candidate_mappings_exposed(self, tiny_scenario):
+        wrangler = Wrangler()
+        wrangler.add_sources(tiny_scenario.sources())
+        wrangler.set_target_schema(tiny_scenario.target)
+        wrangler.run("bootstrap")
+        candidates = wrangler.candidate_mappings()
+        assert len(candidates) >= 3
+        assert any(mapping.kind == "union" for mapping in candidates)
