@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import print_table
-from repro import Predicates, Wrangler, build_default_registry
+from repro import Wrangler, build_default_registry
 from repro.context import DataContext
 
 

@@ -14,8 +14,8 @@ selection transducers consume them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.context.ahp import PairwiseMatrix, verbal_strength
 from repro.context.criteria import Criterion

@@ -21,7 +21,7 @@ Implementation notes
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable
 
 from repro.core.errors import KnowledgeBaseError
 from repro.core.facts import Predicates, attribute_fact, dataset_fact, schema_fact
@@ -39,12 +39,20 @@ __all__ = ["KnowledgeBase"]
 class KnowledgeBase:
     """Shared metadata store plus extensional-data catalog."""
 
+    #: Maximum number of (program → evaluated model) cache entries retained.
+    MODEL_CACHE_SIZE = 64
+
     def __init__(self, catalog: Catalog | None = None):
         self._facts = Database()
         self._catalog = catalog if catalog is not None else Catalog()
         self._revisions: dict[str, int] = defaultdict(int)
         self._revision = 0
         self._artifacts: dict[str, Any] = {}
+        # Dependency queries are evaluated over one shared, hash-indexed
+        # Database: models are memoised per program and revision instead of
+        # rebuilding an engine + database copy for every goal (the
+        # orchestrator probes every transducer's dependencies each step).
+        self._model_cache: dict[str, tuple[int, Engine, Database]] = {}
 
     # -- revision tracking ----------------------------------------------------
 
@@ -132,23 +140,51 @@ class KnowledgeBase:
         """Evaluate a Datalog goal over the knowledge base.
 
         ``program`` may supply additional rules (e.g. a transducer's
-        dependency views); the KB facts are the EDB.
+        dependency views); the KB facts are the EDB. Evaluated models are
+        cached per program until the KB changes, so repeated dependency
+        checks (multiple goals of one transducer, repeated orchestration
+        steps) reuse one indexed database instead of re-deriving it.
         """
         if isinstance(program, str):
             program = Program.parse(program)
         if program is None:
             program = Program()
-        engine = Engine(program)
+        engine, model = self._model_for(program)
         if isinstance(goal, str):
             goal = parse_atom(goal)
         try:
-            return engine.query(goal, self._facts)
+            return engine.query(goal, database=model)
         except Exception as exc:  # UnknownPredicateError → empty answer is friendlier
             from repro.datalog.errors import UnknownPredicateError
 
             if isinstance(exc, UnknownPredicateError):
                 return []
             raise
+
+    def _model_for(self, program: Program) -> tuple[Engine, Database]:
+        """The (engine, evaluated model) pair for ``program`` at the current
+        revision, memoised in a small LRU keyed by the program's rules.
+
+        Programs without rules or facts derive nothing, so they share the
+        live fact database directly — its hash indexes then persist across
+        queries and are maintained incrementally by :meth:`assert_fact`.
+        """
+        key = program.cache_key()
+        entry = self._model_cache.get(key)
+        if entry is not None and entry[0] == self._revision:
+            self._model_cache.pop(key)  # re-insert to refresh LRU order
+            self._model_cache[key] = entry
+            return entry[1], entry[2]
+        engine = entry[1] if entry is not None else Engine(program)
+        if not program.all_rules():
+            model = self._facts
+        else:
+            model = engine.run(self._facts)
+        self._model_cache.pop(key, None)
+        self._model_cache[key] = (self._revision, engine, model)
+        while len(self._model_cache) > self.MODEL_CACHE_SIZE:
+            self._model_cache.pop(next(iter(self._model_cache)))
+        return engine, model
 
     def satisfied(self, goals: Iterable[str | Atom], program: Program | str | None = None) -> bool:
         """True when every goal has at least one answer."""

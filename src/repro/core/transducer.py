@@ -126,6 +126,11 @@ class Transducer(abc.ABC):
             self.name = type(self).__name__
         self._last_run_revision: int | None = None
         self._runs = 0
+        # Parsed-dependency caches, keyed by the declaration strings so a
+        # subclass that rewrites its dependencies after construction still
+        # gets correct (re-parsed) results.
+        self._dependency_program_cache: tuple[str, Program] | None = None
+        self._input_predicates_cache: tuple[tuple, frozenset[str]] | None = None
         self._validate_dependencies()
 
     def _validate_dependencies(self) -> None:
@@ -141,13 +146,31 @@ class Transducer(abc.ABC):
     # -- dependency evaluation --------------------------------------------------
 
     def dependency_program(self) -> Program:
-        """The helper-rule program used when evaluating dependencies."""
-        if self.dependency_rules:
-            return Program.parse(self.dependency_rules)
-        return Program()
+        """The helper-rule program used when evaluating dependencies.
+
+        The parse is cached: the orchestrator re-checks dependencies on
+        every step, and re-parsing (plus re-stratifying downstream) the same
+        rule text dominated dependency evaluation before the cache.
+        """
+        rules = self.dependency_rules
+        cached = self._dependency_program_cache
+        if cached is not None and cached[0] == rules:
+            return cached[1]
+        program = Program.parse(rules) if rules else Program()
+        self._dependency_program_cache = (rules, program)
+        return program
 
     def input_predicates(self) -> set[str]:
         """KB predicates this transducer reads (for change detection)."""
+        signature = (self.input_dependencies, self.dependency_rules, self.watch_predicates)
+        cached = self._input_predicates_cache
+        if cached is not None and cached[0] == signature:
+            return set(cached[1])
+        predicates = self._compute_input_predicates()
+        self._input_predicates_cache = (signature, frozenset(predicates))
+        return predicates
+
+    def _compute_input_predicates(self) -> set[str]:
         predicates: set[str] = set()
         program = self.dependency_program()
         idb = program.idb_predicates()

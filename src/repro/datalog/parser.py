@@ -23,7 +23,6 @@ Example::
 from __future__ import annotations
 
 import re
-from typing import Iterator
 
 from repro.datalog.errors import ParseError
 from repro.datalog.terms import (

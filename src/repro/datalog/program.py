@@ -22,6 +22,7 @@ class Program:
     def __init__(self, rules: Iterable[Rule] = ()):
         self._rules: list[Rule] = []
         self._facts: list[Rule] = []
+        self._rules_by_head: dict[str, list[Rule]] = defaultdict(list)
         for rule in rules:
             self.add(rule)
 
@@ -38,6 +39,7 @@ class Program:
             self._facts.append(rule)
         else:
             self._rules.append(rule)
+            self._rules_by_head[rule.head.predicate].append(rule)
 
     def add_text(self, text: str) -> None:
         """Parse and add every rule in ``text``."""
@@ -100,7 +102,7 @@ class Program:
 
     def rules_for(self, predicate: str) -> list[Rule]:
         """Rules whose head predicate is ``predicate``."""
-        return [rule for rule in self._rules if rule.head.predicate == predicate]
+        return list(self._rules_by_head.get(predicate, ()))
 
     def facts_for(self, predicate: str) -> list[Atom]:
         """Ground head atoms of facts for ``predicate``."""
@@ -123,3 +125,13 @@ class Program:
     def to_text(self) -> str:
         """Render the program back to Vadalog-lite source."""
         return "\n".join(str(rule) for rule in self.all_rules())
+
+    def cache_key(self) -> str:
+        """A stable textual key identifying this program's rule set.
+
+        Used by callers (e.g. the knowledge base) that memoise evaluated
+        models per program. Two programs with the same rendered rules share
+        a key, so structurally identical dependency programs reuse one
+        engine and one model.
+        """
+        return self.to_text()

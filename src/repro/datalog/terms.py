@@ -13,8 +13,9 @@ fact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+import numbers
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.datalog.errors import SafetyError
 
@@ -28,10 +29,40 @@ __all__ = [
     "Rule",
     "fact",
     "Substitution",
+    "hash_key",
+    "row_key",
 ]
 
 #: A substitution maps variable names to constant values.
 Substitution = dict[str, Any]
+
+
+def hash_key(value: Any) -> tuple[str, Any]:
+    """A hashable index key matching the engine's constant-equality semantics.
+
+    Plain Python hashing conflates ``True``/``1``/``1.0`` as dict keys, while
+    the reasoner treats booleans as distinct from numbers and numbers as
+    equal across int/float. Tagging the value keeps hash-index probes exactly
+    aligned with ``_constants_match``: booleans get their own key space and
+    numbers are canonicalised through ``float``.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, numbers.Number):
+        # All numeric types share one key space so cross-type matches
+        # (1 / 1.0 / Decimal("1") / Fraction(1)) land in one bucket. Values
+        # float() cannot canonicalise keep their exact identity — Python's
+        # numeric hashing still makes ==-equal keys collide correctly.
+        try:
+            return ("n", float(value))  # type: ignore[arg-type]
+        except (OverflowError, TypeError):
+            return ("n", value)
+    return ("v", value)
+
+
+def row_key(row: tuple, positions: tuple[int, ...]) -> tuple[tuple[str, Any], ...]:
+    """The composite index key of ``row`` on a column subset."""
+    return tuple(hash_key(row[position]) for position in positions)
 
 
 class Term:
@@ -267,24 +298,24 @@ class Rule:
 
     def positive_body_atoms(self) -> list[Atom]:
         """The positive relational atoms of the body."""
-        return [l.atom for l in self.body if l.is_positive_atom]  # type: ignore[misc]
+        return [lit.atom for lit in self.body if lit.is_positive_atom]  # type: ignore[misc]
 
     def negated_body_atoms(self) -> list[Atom]:
         """The negated relational atoms of the body."""
-        return [l.atom for l in self.body if l.is_negated_atom]  # type: ignore[misc]
+        return [lit.atom for lit in self.body if lit.is_negated_atom]  # type: ignore[misc]
 
     def comparisons(self) -> list[Comparison]:
         """The built-in comparison literals of the body."""
-        return [l.comparison for l in self.body if l.is_comparison]  # type: ignore[misc]
+        return [lit.comparison for lit in self.body if lit.is_comparison]  # type: ignore[misc]
 
     def body_predicates(self) -> set[str]:
         """All predicate names referenced in the body."""
-        return {l.atom.predicate for l in self.body if l.atom is not None}
+        return {lit.atom.predicate for lit in self.body if lit.atom is not None}
 
     def __str__(self) -> str:
         if self.is_fact:
             return f"{self.head}."
-        return f"{self.head} :- {', '.join(str(l) for l in self.body)}."
+        return f"{self.head} :- {', '.join(str(lit) for lit in self.body)}."
 
 
 def fact(predicate: str, *values: Any) -> Rule:

@@ -8,7 +8,7 @@ from repro.extraction.pages import ResultPage
 from repro.extraction.wrapper import SiteWrapper
 from repro.relational.schema import Attribute, Schema
 from repro.relational.table import Table
-from repro.relational.types import DataType, infer_common_type, infer_type
+from repro.relational.types import infer_common_type, infer_type
 
 __all__ = ["WebExtractor"]
 

@@ -14,8 +14,8 @@ missing values).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 __all__ = ["Listing", "ResultPage", "SiteTemplate", "SyntheticSite"]
 

@@ -12,7 +12,7 @@ result-page understanding.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.extraction.pages import Listing, ResultPage

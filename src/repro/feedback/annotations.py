@@ -14,7 +14,6 @@ the pay-as-you-go experiment, where no human is in the loop).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.facts import Feedback, Predicates

@@ -10,11 +10,10 @@ source sizes.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.relational.keys import normalise_key
 from repro.relational.table import Row, Table
-from repro.relational.types import is_null
 
 __all__ = ["block_by_attributes", "block_by_key_function", "candidate_pairs"]
 

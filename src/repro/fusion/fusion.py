@@ -13,7 +13,7 @@ resolving attribute conflicts with a configurable policy:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.fusion.duplicates import DuplicatePair, cluster_pairs

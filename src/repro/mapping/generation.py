@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.matching.correspondence import MatchSet
 from repro.mapping.model import AttributeAssignment, JoinCondition, SchemaMapping

@@ -16,8 +16,8 @@ expressible in the reasoner's language" story intact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 __all__ = ["AttributeAssignment", "JoinCondition", "SchemaMapping"]
 

@@ -12,7 +12,7 @@ Without a user context, criteria are weighted uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.mapping.execution import MappingExecutor
 from repro.mapping.model import SchemaMapping

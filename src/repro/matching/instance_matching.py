@@ -17,7 +17,7 @@ from typing import Any, Sequence
 from repro.matching.correspondence import Correspondence, MatchSet
 from repro.matching.similarity import jaccard_similarity, numeric_overlap
 from repro.relational.table import Table
-from repro.relational.types import DataType, is_null
+from repro.relational.types import is_null
 
 __all__ = ["InstanceMatcherConfig", "InstanceMatcher"]
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.core.facts import Predicates
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
-from repro.matching.correspondence import Correspondence, MatchSet
+from repro.matching.correspondence import MatchSet
 from repro.matching.instance_matching import InstanceMatcher, InstanceMatcherConfig
 from repro.matching.schema_matching import SchemaMatcher, SchemaMatcherConfig
 

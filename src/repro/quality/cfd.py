@@ -16,11 +16,11 @@ lookups).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from repro.relational.keys import normalise_key_tuple
-from repro.relational.table import Row, Table
+from repro.relational.table import Table
 from repro.relational.types import is_null
 
 __all__ = ["WILDCARD", "CFD", "Violation", "find_violations"]

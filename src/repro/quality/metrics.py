@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.quality.cfd import CFD, find_violations
-from repro.relational.keys import normalise_key, normalise_key_tuple
+from repro.relational.keys import normalise_key_tuple
 from repro.relational.table import Table
 from repro.relational.types import is_null
 

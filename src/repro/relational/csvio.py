@@ -11,12 +11,11 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable
 
 from repro.relational.errors import CsvFormatError
 from repro.relational.schema import Attribute, Schema
 from repro.relational.table import Table
-from repro.relational.types import DataType, infer_common_type, infer_type, is_null, parse_literal
+from repro.relational.types import infer_common_type, infer_type, is_null, parse_literal
 
 __all__ = ["read_csv", "write_csv", "read_csv_text", "write_csv_text"]
 

@@ -108,7 +108,7 @@ def join(left: Table, right: Table, on: Sequence[tuple[str, str]], *,
     out_schema = _join_output_schema(left, right, right_carry, relation_name)
 
     index = _build_hash_index(right, [r for _, r in on])
-    left_positions = [left.schema.position(l) for l, _ in on]
+    left_positions = [left.schema.position(lname) for lname, _ in on]
     carry_positions = [right.schema.position(n) for n in right_carry]
 
     rows = []
@@ -130,7 +130,7 @@ def left_outer_join(left: Table, right: Table, on: Sequence[tuple[str, str]], *,
     out_schema = _join_output_schema(left, right, right_carry, relation_name)
 
     index = _build_hash_index(right, [r for _, r in on])
-    left_positions = [left.schema.position(l) for l, _ in on]
+    left_positions = [left.schema.position(lname) for lname, _ in on]
     carry_positions = [right.schema.position(n) for n in right_carry]
     padding = tuple([None] * len(right_carry))
 

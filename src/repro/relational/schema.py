@@ -7,7 +7,7 @@ and is also the unit exchanged between the matching and mapping components
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.relational.errors import DuplicateAttributeError, SchemaError, UnknownAttributeError

@@ -16,7 +16,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.relational.errors import ArityError, SchemaError, UnknownAttributeError
 from repro.relational.schema import Attribute, Schema
-from repro.relational.types import DataType, coerce_value, infer_common_type, infer_type, is_null
+from repro.relational.types import coerce_value, infer_common_type, infer_type, is_null
 
 __all__ = ["Row", "Table"]
 

@@ -25,7 +25,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.context.data_context import DataContext
 from repro.context.transducers import CriterionWeightTransducer

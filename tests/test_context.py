@@ -21,7 +21,7 @@ from repro.context import (
     verbal_strength,
 )
 from repro.core import KnowledgeBase, Predicates
-from repro.relational import Attribute, DataType, Schema, Table
+from repro.relational import Attribute, Schema, Table
 
 
 class TestCriterion:

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.datalog import Program, parse_program, query
-from repro.mapping import MappingGenerator, SchemaMapping
+from repro.datalog import parse_program, query
+from repro.mapping import MappingGenerator
 from repro.matching import SchemaMatcher
-from repro.relational import Catalog, read_csv, write_csv
+from repro.relational import Catalog, write_csv
 from repro.scenarios import ScenarioConfig, generate_scenario
 from repro.wrangler import Wrangler, WranglerConfig
 from repro.wrangler.result import WranglingResult

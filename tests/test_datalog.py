@@ -6,7 +6,6 @@ import pytest
 
 from repro.datalog import (
     Atom,
-    Comparison,
     Constant,
     Database,
     Engine,

@@ -1,0 +1,291 @@
+"""Edge cases the hash-indexed join path must preserve.
+
+Every semantic test runs the same program through ``Engine(indexed=True)``
+and the ``indexed=False`` escape hatch and requires identical models, so the
+naive nested-loop evaluation stays the executable specification of the
+indexed one. The remaining tests pin down index lifecycle (lazy build,
+incremental maintenance, invalidation on ``remove``/``copy``/``merge``) and
+the constant-key semantics (``1``/``1.0`` match, ``True`` never matches
+``1``) in both probe and scan paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import Database, Engine, Program
+from repro.datalog.engine import _constants_match, _unify
+from repro.datalog.terms import Atom, Constant, Variable, hash_key, row_key
+
+
+def models_of(text: str, edb: dict) -> tuple[Database, Database]:
+    """Evaluate ``text`` over ``edb`` with both engine modes."""
+    program = Program.parse(text)
+    return (Engine(program, indexed=True).run(edb),
+            Engine(program, indexed=False).run(edb))
+
+
+def assert_identical(text: str, edb: dict) -> Database:
+    """Assert both modes derive the same model; return the indexed one."""
+    indexed, naive = models_of(text, edb)
+
+    def snapshot(model: Database) -> dict:
+        return {p: sorted(model.relation(p), key=repr) for p in model.predicates()}
+
+    assert snapshot(indexed) == snapshot(naive)
+    return indexed
+
+
+class TestDeltaSemanticsAcrossStrata:
+    def test_negation_over_recursive_predicate(self):
+        """Stratum 2 negates the fixpoint of stratum 1, not a partial delta."""
+        edb = {
+            "edge": [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")],
+            "node": [("a",), ("b",), ("c",), ("d",), ("x",), ("y",)],
+        }
+        model = assert_identical("""
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- tc(X, Y), edge(Y, Z).
+            unreach(X, Y) :- node(X), node(Y), not tc(X, Y).
+        """, edb)
+        assert ("a", "d") in model.relation("tc")
+        assert ("a", "d") not in model.relation("unreach")
+        # d reaches nothing, so every (d, _) pair is unreachable.
+        assert ("d", "a") in model.relation("unreach")
+        assert ("x", "c") in model.relation("unreach")
+
+    def test_two_recursive_literals_in_one_rule(self):
+        """Semi-naive must take each positive literal's turn as the delta."""
+        edb = {"edge": [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]}
+        model = assert_identical("""
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- tc(X, Y), tc(Y, Z).
+        """, edb)
+        assert ("a", "e") in model.relation("tc")
+        assert model.count("tc") == 10
+
+    def test_negation_within_recursive_stratum_uses_lower_stratum(self):
+        edb = {
+            "edge": [("a", "b"), ("b", "c"), ("c", "d")],
+            "bad": [("c",)],
+        }
+        model = assert_identical("""
+            safe(X, Y) :- edge(X, Y), not bad(Y).
+            safe(X, Z) :- safe(X, Y), edge(Y, Z), not bad(Z).
+        """, edb)
+        assert ("a", "b") in model.relation("safe")
+        assert ("a", "c") not in model.relation("safe")
+        assert ("a", "d") not in model.relation("safe")  # path must avoid c
+
+
+class TestUnificationShapes:
+    def test_anonymous_variables_never_join(self):
+        edb = {"p": [("a", 1), ("b", 2)], "q": [("a",)]}
+        model = assert_identical("r(X) :- p(X, _), q(X).", edb)
+        assert model.relation("r") == {("a",)}
+
+    def test_multiple_anonymous_variables_are_independent(self):
+        edb = {"t": [("a", 1, 2), ("b", 3, 3)]}
+        model = assert_identical("s(X) :- t(X, _, _).", edb)
+        assert model.relation("s") == {("a",), ("b",)}
+
+    def test_repeated_variable_in_one_atom(self):
+        edb = {"p": [(1, 1), (1, 2), (3, 3)]}
+        model = assert_identical("d(X) :- p(X, X).", edb)
+        assert model.relation("d") == {(1,), (3,)}
+
+    def test_repeated_variable_with_bound_probe(self):
+        """The repeated occurrence is part of the probe key once bound."""
+        edb = {"s": [(1,), (2,)], "p": [(1, 1), (2, 3)]}
+        model = assert_identical("d(X) :- s(X), p(X, X).", edb)
+        assert model.relation("d") == {(1,)}
+
+    def test_constant_positions_probe_the_index(self):
+        edb = {"p": [("a", 1), ("a", 2), ("b", 1)]}
+        model = assert_identical('r(Y) :- p("a", Y).', edb)
+        assert model.relation("r") == {(1,), (2,)}
+
+    def test_mixed_arity_relation_does_not_break_index(self):
+        """Rows shorter than the probed columns are skipped, not crashed on."""
+        db = Database({"p": [("a",), ("a", 1), ("b", 2)]})
+        index = db.index_for("p", (1,))
+        assert sorted(index[row_key(("a", 1), (1,))]) == [("a", 1)]
+        program = Program.parse("r(X, Y) :- p(X, Y).")
+        model = Engine(program).run(db)
+        assert model.relation("r") == {("a", 1), ("b", 2)}
+
+
+class TestIndexLifecycle:
+    def test_index_built_lazily_and_maintained_on_add(self):
+        db = Database({"p": [("a", 1)]})
+        assert db.indexed_positions("p") == []
+        index = db.index_for("p", (0,))
+        assert db.indexed_positions("p") == [(0,)]
+        db.add("p", ("a", 2))
+        assert sorted(index[row_key(("a", 2), (0,))]) == [("a", 1), ("a", 2)]
+        # Re-inserting an existing row must not duplicate index entries.
+        db.add("p", ("a", 2))
+        assert len(index[row_key(("a", 2), (0,))]) == 2
+
+    def test_remove_invalidates_indexes(self):
+        db = Database({"p": [("a", 1), ("b", 2)]})
+        db.index_for("p", (0,))
+        db.remove("p", ("a", 1))
+        assert db.indexed_positions("p") == []
+        rebuilt = db.index_for("p", (0,))
+        assert row_key(("a", 1), (0,)) not in rebuilt
+        assert rebuilt[row_key(("b", 2), (0,))] == [("b", 2)]
+
+    def test_copy_does_not_share_indexes(self):
+        db = Database({"p": [("a", 1)]})
+        original_index = db.index_for("p", (0,))
+        clone = db.copy()
+        assert clone.indexed_positions("p") == []
+        clone.add("p", ("a", 2))
+        # The original's index must not see the clone's insert, and vice versa.
+        assert original_index[row_key(("a", 1), (0,))] == [("a", 1)]
+        assert sorted(clone.index_for("p", (0,))[row_key(("a", 2), (0,))]) == [
+            ("a", 1), ("a", 2)]
+        assert db.relation("p") == {("a", 1)}
+
+    def test_merge_updates_existing_indexes(self):
+        db = Database({"p": [("a", 1)]})
+        index = db.index_for("p", (0,))
+        other = Database({"p": [("a", 2), ("b", 3)], "q": [("z",)]})
+        db.merge(other)
+        assert sorted(index[row_key(("a", 1), (0,))]) == [("a", 1), ("a", 2)]
+        assert index[row_key(("b", 3), (0,))] == [("b", 3)]
+        assert db.relation("q") == {("z",)}
+        # Merging the same tuples again must not duplicate bucket entries.
+        db.merge(other)
+        assert len(index[row_key(("a", 1), (0,))]) == 2
+
+
+class TestConstantKeySemantics:
+    """1 / 1.0 / True must behave identically in probes and naive unification.
+
+    Note Python set semantics make ``(1,)``, ``(1.0,)`` and ``(True,)`` one
+    stored tuple, so which value a relation holds is first-insert-wins; the
+    matching semantics on top are what these tests pin down.
+    """
+
+    def test_constants_match_is_symmetric(self):
+        for left, right, expected in [
+            (1, 1.0, True), (1.0, 1, True),
+            (1, True, False), (True, 1, False),
+            (1.0, True, False), (True, 1.0, False),
+            (0, False, False), (False, 0, False),
+            (True, True, True), ("a", "a", True), ("1", 1, False),
+        ]:
+            assert _constants_match(left, right) is expected
+            assert _constants_match(right, left) is expected
+
+    def test_hash_key_mirrors_constants_match(self):
+        assert hash_key(1) == hash_key(1.0)
+        assert hash_key(1) != hash_key(True)
+        assert hash_key(0) != hash_key(False)
+        assert hash_key("a") != hash_key(("a",))
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_int_probe_matches_float_row(self, indexed):
+        program = Program.parse("r(X) :- s(X), p(X).")
+        model = Engine(program, indexed=indexed).run({"p": [(1.0,)], "s": [(1,)]})
+        assert model.count("r") == 1
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_bool_probe_never_matches_int_row(self, indexed):
+        program = Program.parse("r(X) :- s(X), p(X).")
+        model = Engine(program, indexed=indexed).run({"p": [(1,)], "s": [(True,)]})
+        assert model.count("r") == 0
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_negation_agrees_with_positive_matching(self, indexed):
+        """`not p(True)` must succeed over {(1,)} exactly when p(True) fails.
+
+        The seed engine used raw set membership for negation, which conflated
+        True with 1 while positive unification did not; both paths now share
+        `_constants_match` semantics.
+        """
+        program = Program.parse("r(X) :- s(X), not p(X).")
+        model = Engine(program, indexed=indexed).run({"p": [(1,)], "s": [(True,)]})
+        assert model.count("r") == 1  # p(True) does not hold, only p(1)
+        model = Engine(program, indexed=indexed).run({"p": [(1,)], "s": [(1.0,)]})
+        assert model.count("r") == 0  # p(1.0) holds via numeric equality
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_decimal_rows_join_with_int_probes(self, indexed):
+        """Non-builtin numeric types share the numeric key space."""
+        from decimal import Decimal
+        from fractions import Fraction
+
+        program = Program.parse("r(X) :- s(X), p(X).")
+        model = Engine(program, indexed=indexed).run(
+            {"p": [(Decimal("1"),)], "s": [(1,)]})
+        assert model.count("r") == 1
+        model = Engine(program, indexed=indexed).run(
+            {"p": [(Fraction(1, 2),)], "s": [(0.5,)]})
+        assert model.count("r") == 1
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_ints_beyond_float_range_do_not_crash(self, indexed):
+        program = Program.parse("r(X) :- s(X), p(X).")
+        model = Engine(program, indexed=indexed).run(
+            {"p": [(10**400,)], "s": [(10**400,)]})
+        assert model.count("r") == 1
+        model = Engine(program, indexed=indexed).run(
+            {"p": [(10**400,)], "s": [(1.0,)]})
+        assert model.count("r") == 0
+
+    def test_unify_repeated_variable_uses_constant_semantics(self):
+        atom = Atom("p", (Variable("X"), Variable("X")))
+        assert _unify(atom, (1, 1.0), {}) == {"X": 1}
+        assert _unify(atom, (1, True), {}) is None
+        assert _unify(Atom("p", (Constant(2), Variable("Y"))), (2.0, "v"), {}) == {"Y": "v"}
+
+
+class TestPlannerAndEscapeHatch:
+    def test_most_selective_literal_first_preserves_results(self):
+        """Body order must not affect the model, whatever the planner picks."""
+        edb = {
+            "big": [(i, i + 1) for i in range(50)],
+            "small": [(3,)],
+        }
+        left = assert_identical("r(X, Y) :- big(X, Y), small(X).", edb)
+        right = assert_identical("r(X, Y) :- small(X), big(X, Y).", edb)
+        assert left.relation("r") == right.relation("r") == {(3, 4)}
+
+    def test_escape_hatch_flag_is_exposed(self):
+        program = Program.parse("r(X) :- p(X).")
+        assert Engine(program).indexed is True
+        assert Engine(program, indexed=False).indexed is False
+
+    def test_comparisons_and_assignment_identical(self):
+        edb = {"q": [(1,), (2,), (3,)]}
+        model = assert_identical("p(X, Y) :- q(X), Y = 1, X > Y.", edb)
+        assert model.relation("p") == {(2, 1), (3, 1)}
+
+
+class TestKnowledgeBaseModelCache:
+    def test_cached_model_invalidated_on_change(self):
+        from repro.core.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase()
+        kb.assert_fact("edge", "a", "b")
+        rules = "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z)."
+        assert kb.query("path(X, Y)", rules) == [("a", "b")]
+        # Second query at the same revision hits the cache.
+        assert kb.query("path(X, Y)", rules) == [("a", "b")]
+        kb.assert_fact("edge", "b", "c")
+        assert ("a", "c") in kb.query("path(X, Y)", rules)
+        kb.retract_fact("edge", "b", "c")
+        assert kb.query("path(X, Y)", rules) == [("a", "b")]
+
+    def test_empty_program_queries_share_live_database(self):
+        from repro.core.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase()
+        kb.assert_fact("p", 1)
+        assert kb.query("p(X)") == [(1,)]
+        kb.assert_fact("p", 2)
+        assert kb.query("p(X)") == [(1,), (2,)]
+        assert kb.query("missing(X)") == []

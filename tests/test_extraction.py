@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import KnowledgeBase, Predicates
+from repro.core import KnowledgeBase
 from repro.extraction import (
     DataExtractionTransducer,
     ExtractionRule,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import Feedback, KnowledgeBase, Predicates
 from repro.feedback import (
-    AssignmentEvidence,
     FeedbackAssimilator,
     FeedbackCollector,
     FeedbackRepairTransducer,

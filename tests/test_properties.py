@@ -7,8 +7,8 @@ import math
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.context.ahp import PairwiseMatrix, consistency_ratio, derive_weights
-from repro.datalog import Database, Program, query
+from repro.context.ahp import PairwiseMatrix, consistency_ratio
+from repro.datalog import Program, query
 from repro.fusion.duplicates import DuplicatePair, cluster_pairs
 from repro.matching.similarity import (
     jaccard_similarity,

@@ -14,7 +14,6 @@ from repro.quality import (
     CFDRepairer,
     DataRepairTransducer,
     QualityMetricTransducer,
-    WILDCARD,
     accuracy_against_reference,
     attribute_completeness,
     build_witness,
