@@ -71,6 +71,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no benchmarks matching {args.name_filter!r} appear in both reports",
               file=sys.stderr)
         return 2
+    # Names that match the filter but appear in only one report are NOT
+    # gated; say so loudly, otherwise a baseline that lags behind the suite
+    # silently stops watching the newest (often largest) workloads.
+    for name in sorted(set(fresh) - set(baseline)):
+        if args.name_filter in name:
+            print(f"warning: {name} is in the fresh report but not the baseline "
+                  f"(ungated; regenerate the baseline)", file=sys.stderr)
+    for name in sorted(set(baseline) - set(fresh)):
+        if args.name_filter in name:
+            print(f"warning: {name} is in the baseline but not the fresh report "
+                  f"(ungated this run)", file=sys.stderr)
 
     failures = []
     for name in gated:

@@ -1,0 +1,138 @@
+"""Micro-benchmarks for the parametric scenario generator and batch runner.
+
+Three exhibits:
+
+- **generation volume** — :func:`repro.scenarios.synth.generate_synthetic`
+  timed across tuple volumes 10²–10⁵ (the generator must stay linear, or
+  large workloads become unaffordable before wrangling even starts);
+- **batch wall-clock** — the process-pool batch runner timed over a suite
+  spanning all four scenario families (this is the series the nightly
+  regression gate watches);
+- **parallel vs sequential** — the same suite executed sequentially and
+  through the process pool, asserting byte-identical per-scenario results
+  and (when the machine has cores to scale onto) a wall-clock speedup.
+
+Speedup thresholds adapt to the available parallelism: a process pool
+cannot beat sequential execution of CPU-bound work on a single core, so on
+1-CPU machines only equivalence (and absence of pathological slowdown) is
+asserted. At full size on a ≥4-core machine (local runs and the nightly CI
+job) the suite must reach ≥2×.
+
+Set ``BENCH_SMOKE=1`` (the PR test and bench jobs do) to shrink the
+scenarios; smoke runs assert only equivalence — the ~1s smoke batch is
+dominated by pool start-up, so a wall-clock threshold there would let
+shared-runner noise fail PRs that touched nothing related.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.scenarios.synth import SynthConfig, generate_synthetic, scenario_suite
+from repro.wrangler.batch import BatchConfig, run_batch
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+CPUS = os.cpu_count() or 1
+WORKERS = min(4, CPUS)
+
+#: Ground-truth entities per generated scenario in the batch exhibits.
+BATCH_ENTITIES = 90 if SMOKE else 250
+#: Scenario variants per family; four families make ≥8 scenarios.
+PER_FAMILY = 2
+#: Simulated feedback annotations per scenario (exercises all phases).
+FEEDBACK_BUDGET = 0 if SMOKE else 20
+#: Tuple volumes for the generation benchmark (10²–10⁵).
+GENERATION_SIZES = [100, 1_000, 10_000] if SMOKE else [100, 1_000, 10_000, 100_000]
+
+
+def batch_suite() -> list[SynthConfig]:
+    """The scenario suite shared by the batch exhibits (all families)."""
+    return scenario_suite(per_family=PER_FAMILY, seed=17, entities=BATCH_ENTITIES)
+
+
+def min_speedup() -> float | None:
+    """Required parallel speedup, or None when none can be demanded (smoke
+    sizes, or a machine without real parallelism)."""
+    if SMOKE:
+        return None
+    if WORKERS >= 4:
+        return 2.0
+    if WORKERS >= 2:
+        return 1.25
+    return None
+
+
+@pytest.mark.parametrize("size", GENERATION_SIZES)
+def test_bench_synth_generation(benchmark, size: int):
+    """Generation cost across tuple volumes (kept linear in ``entities``)."""
+    config = SynthConfig(family="product_catalog", entities=size, sources=3, seed=size)
+    rounds = 1 if size >= 10_000 else 3
+    scenario = benchmark.pedantic(
+        lambda: generate_synthetic(config), rounds=rounds, iterations=1)
+    assert len(scenario.ground_truth) == size
+    assert scenario.source_count == 3
+
+
+def test_bench_batch_scenarios_parallel(benchmark):
+    """Wall-clock of the process-pool batch over the full family suite."""
+    configs = batch_suite()
+    report = benchmark.pedantic(
+        lambda: run_batch(
+            configs,
+            BatchConfig(executor="process", workers=WORKERS,
+                        feedback_budget=FEEDBACK_BUDGET),
+        ),
+        rounds=1, iterations=1)
+    assert len(report.results) >= 8
+    assert not report.failed, [result.error for result in report.failed]
+
+
+def test_batch_parallel_matches_sequential():
+    """The process pool returns byte-identical per-scenario results and, on
+    multi-core machines, a real wall-clock speedup over sequential runs."""
+    configs = batch_suite()
+    assert len(configs) >= 8
+    batch = BatchConfig(feedback_budget=FEEDBACK_BUDGET)
+
+    started = time.perf_counter()
+    sequential = run_batch(configs, batch, executor="serial")
+    sequential_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_batch(configs, batch, executor="process", workers=WORKERS)
+    parallel_elapsed = time.perf_counter() - started
+
+    assert not sequential.failed, [result.error for result in sequential.failed]
+    assert not parallel.failed, [result.error for result in parallel.failed]
+    # Identical per-scenario results: same fingerprints, quality, costs.
+    assert [result.equivalence_key() for result in sequential.results] == \
+        [result.equivalence_key() for result in parallel.results]
+    assert sequential.aggregate() == parallel.aggregate()
+
+    speedup = sequential_elapsed / max(parallel_elapsed, 1e-9)
+    rows = [
+        [result.name, result.rows, result.steps,
+         f"{result.quality.get('overall', 0.0):.4f}", f"{result.seconds:.2f}"]
+        for result in parallel.results
+    ]
+    print_table(
+        f"Batch wrangling: {len(configs)} scenarios, {WORKERS} worker(s) "
+        f"(sequential {sequential_elapsed:.2f}s, parallel {parallel_elapsed:.2f}s, "
+        f"speedup {speedup:.2f}x)",
+        ["scenario", "rows", "steps", "quality", "seconds"],
+        rows)
+
+    required = min_speedup()
+    if required is None:
+        # Smoke sizes or a single-core machine: no wall-clock promise can be
+        # made; just require the pool overhead to stay bounded.
+        assert speedup > 0.4, (
+            f"process-pool overhead is pathological: {speedup:.2f}x of sequential")
+    else:
+        assert speedup >= required, (
+            f"expected >= {required}x speedup with {WORKERS} workers over "
+            f"{len(configs)} scenarios, got {speedup:.2f}x "
+            f"(sequential {sequential_elapsed:.2f}s, parallel {parallel_elapsed:.2f}s)")

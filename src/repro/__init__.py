@@ -42,8 +42,28 @@ from repro.core import (
     TransducerResult,
 )
 from repro.relational import Attribute, Catalog, DataType, Schema, Table
-from repro.scenarios import RealEstateScenario, ScenarioConfig, generate_scenario, target_schema
-from repro.wrangler import Wrangler, WranglerConfig, WranglingResult, build_default_registry
+from repro.scenarios import (
+    RealEstateScenario,
+    Scenario,
+    ScenarioConfig,
+    SynthConfig,
+    family_names,
+    generate_scenario,
+    generate_synthetic,
+    scenario_suite,
+    target_schema,
+)
+from repro.wrangler import (
+    BatchConfig,
+    BatchReport,
+    ScenarioRunResult,
+    Wrangler,
+    WranglerConfig,
+    WranglingResult,
+    build_default_registry,
+    run_batch,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -81,9 +101,20 @@ __all__ = [
     "Table",
     "Catalog",
     "DataType",
-    # scenario
+    # scenarios (hand-written and generated)
     "ScenarioConfig",
     "RealEstateScenario",
     "generate_scenario",
     "target_schema",
+    "Scenario",
+    "SynthConfig",
+    "family_names",
+    "generate_synthetic",
+    "scenario_suite",
+    # batch runner
+    "BatchConfig",
+    "BatchReport",
+    "ScenarioRunResult",
+    "run_batch",
+    "run_scenario",
 ]

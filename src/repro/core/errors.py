@@ -24,7 +24,18 @@ class DependencyError(TransducerError):
 
 
 class OrchestrationError(CoreError):
-    """The orchestrator reached an invalid state."""
+    """The orchestrator reached an invalid state.
+
+    Carries the orchestration ``trace`` accumulated so far (when the
+    orchestrator raised it), so callers can inspect what did execute before
+    the failure instead of losing the session history with the exception.
+    """
+
+    def __init__(self, message: str, *, trace=None):
+        super().__init__(message)
+        #: The :class:`repro.core.trace.Trace` at the time of the error
+        #: (None when the error was raised outside an execution loop).
+        self.trace = trace
 
 
 class RegistryError(CoreError):

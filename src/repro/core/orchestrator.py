@@ -160,6 +160,22 @@ class Orchestrator:
         """Transducers whose dependencies are satisfied and inputs changed."""
         return [t for t in self._registry.all() if t.can_run(self._kb)]
 
+    def pending_dependencies(self) -> dict[str, tuple[str, ...]]:
+        """Unmet input goals of transducers that have never executed.
+
+        A non-empty result together with an empty :meth:`runnable` list
+        means those components are starved: nothing currently in the KB can
+        satisfy their inputs.
+        """
+        pending = {}
+        for transducer in self._registry.all():
+            if transducer.has_run:
+                continue
+            goals = transducer.unsatisfied_dependencies(self._kb)
+            if goals:
+                pending[transducer.name] = goals
+        return pending
+
     def step(self) -> TraceStep | None:
         """Execute one transducer; returns None when nothing is runnable."""
         candidates = self.runnable()
@@ -188,19 +204,47 @@ class Orchestrator:
         return step
 
     def run(self, *, max_steps: int | None = None) -> Trace:
-        """Execute until quiescence (or until the step budget is exhausted)."""
+        """Execute until quiescence (or until the step budget is exhausted).
+
+        Quiescence after at least one execution is the normal fixpoint.
+        Quiescence before *anything* has ever executed, while transducers
+        are still waiting on unmet input dependencies, means the session is
+        misconfigured (e.g. no sources or no target schema were registered)
+        and raises :class:`OrchestrationError` — carrying the trace so far —
+        rather than silently returning an empty trace.
+        """
         budget = max_steps if max_steps is not None else self._max_steps
         executed = 0
         while executed < budget:
             step = self.step()
             if step is None:
+                if len(self._trace) == 0:
+                    self._raise_if_stalled()
                 return self._trace
             executed += 1
         if self.runnable():
             raise OrchestrationError(
                 f"orchestration did not quiesce within {budget} steps; "
-                f"still runnable: {[t.name for t in self.runnable()]}")
+                f"still runnable: {[t.name for t in self.runnable()]}",
+                trace=self._trace)
         return self._trace
+
+    def _raise_if_stalled(self) -> None:
+        """Raise when nothing has ever run and unmet dependencies remain."""
+        pending = self.pending_dependencies()
+        if not pending:
+            return
+        shown = sorted(pending.items())
+        described = "; ".join(
+            f"{name} waiting on {', '.join(goals)}" for name, goals in shown[:5])
+        if len(shown) > 5:
+            described += f"; ... and {len(shown) - 5} more"
+        raise OrchestrationError(
+            "orchestration stalled before any transducer could run: nothing is "
+            f"runnable but {len(pending)} transducer(s) have unmet input "
+            f"dependencies ({described}). Register the missing sources / target "
+            "schema before running.",
+            trace=self._trace)
 
     def reset(self) -> None:
         """Clear execution history (trace and per-transducer state)."""

@@ -196,6 +196,14 @@ class Transducer(abc.ABC):
         program = self.dependency_program()
         return kb.satisfied(self.input_dependencies, program)
 
+    def unsatisfied_dependencies(self, kb: KnowledgeBase) -> tuple[str, ...]:
+        """The input goals that currently have no answer over ``kb``."""
+        if not self.input_dependencies:
+            return ()
+        program = self.dependency_program()
+        return tuple(goal for goal in self.input_dependencies
+                     if not kb.satisfied([goal], program))
+
     def inputs_changed_since_last_run(self, kb: KnowledgeBase) -> bool:
         """Whether any input predicate changed after the last execution."""
         if self._last_run_revision is None:

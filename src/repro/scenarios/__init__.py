@@ -1,5 +1,8 @@
-"""Demonstration scenarios (currently: the real-estate scenario of §2.1)."""
+"""Demonstration scenarios: the paper's real-estate workload plus the
+parametric generator (:mod:`repro.scenarios.synth`) and the generic
+:class:`~repro.scenarios.base.Scenario` contract they share."""
 
+from repro.scenarios.base import Scenario
 from repro.scenarios.realestate import (
     ONTHEMARKET_TEMPLATE,
     RIGHTMOVE_TEMPLATE,
@@ -7,6 +10,16 @@ from repro.scenarios.realestate import (
     ScenarioConfig,
     generate_scenario,
     target_schema,
+)
+from repro.scenarios.synth import (
+    MISSING_PATTERNS,
+    FieldSpec,
+    ScenarioFamily,
+    SynthConfig,
+    family_names,
+    generate_synthetic,
+    register_family,
+    scenario_suite,
 )
 
 __all__ = [
@@ -16,4 +29,13 @@ __all__ = [
     "target_schema",
     "RIGHTMOVE_TEMPLATE",
     "ONTHEMARKET_TEMPLATE",
+    "Scenario",
+    "SynthConfig",
+    "ScenarioFamily",
+    "FieldSpec",
+    "MISSING_PATTERNS",
+    "family_names",
+    "generate_synthetic",
+    "register_family",
+    "scenario_suite",
 ]

@@ -1,0 +1,98 @@
+"""The generic, family-agnostic scenario contract.
+
+A :class:`Scenario` bundles everything one wrangling workload needs —
+sources, target schema, data context (reference/master tables) and the
+ground truth used for evaluation and simulated feedback — without being
+tied to any particular domain. The real-estate demonstration of the paper
+is one instance; the parametric generator in :mod:`repro.scenarios.synth`
+produces arbitrarily many others.
+
+The contract is exactly what :class:`repro.wrangler.Wrangler` consumes, so
+any scenario (hand-written or generated) can be wrangled, evaluated and
+batch-executed through the same pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+__all__ = ["Scenario"]
+
+
+@dataclass
+class Scenario:
+    """One self-contained wrangling workload.
+
+    Attributes mirror the ingredients of the paper's demonstration
+    (Figure 2): noisy ``sources`` to be integrated into ``target``,
+    optional data context (``reference`` and ``master``) and the
+    ``ground_truth`` the harness scores against (never visible to the
+    wrangling process itself).
+    """
+
+    #: Human-readable scenario label, unique within a batch.
+    name: str
+    #: Name of the family that generated this scenario.
+    family: str
+    #: Seed the scenario was generated from (experiments are reproducible).
+    seed: int
+    #: The target schema the user declares.
+    target: Schema
+    #: The noisy source tables to be wrangled.
+    sources: list[Table]
+    #: Ground truth in the target schema (evaluation / simulated feedback).
+    ground_truth: Table
+    #: Attributes that (approximately) key the ground truth; used to align
+    #: result rows with ground-truth rows for evaluation and feedback.
+    evaluation_key: tuple[str, ...]
+    #: Reference data bound as data context (None when the family has none).
+    reference: Table | None = None
+    #: Master data bound as data context (None when the family has none).
+    master: Table | None = None
+    #: The generator configuration this scenario was built from.
+    config: Any = None
+    #: Free-form extras (family-specific diagnostics, directories, ...).
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def source_count(self) -> int:
+        """Number of source tables."""
+        return len(self.sources)
+
+    @property
+    def total_source_rows(self) -> int:
+        """Total tuple volume across all sources."""
+        return sum(len(table) for table in self.sources)
+
+    def source_names(self) -> list[str]:
+        """Relation names of the sources, in registration order."""
+        return [table.name for table in self.sources]
+
+    def install(self, wrangler) -> None:
+        """Register sources and the target schema on a wrangler session.
+
+        Data context is *not* asserted here: binding reference/master data is
+        a separate pay-as-you-go step (Figure 3(b)) that callers trigger
+        explicitly — see :mod:`repro.wrangler.batch`.
+        """
+        wrangler.add_sources(self.sources)
+        wrangler.set_target_schema(self.target)
+
+    def describe(self) -> dict[str, Any]:
+        """A compact, JSON-friendly description of the scenario."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "target": self.target.name,
+            "sources": self.source_names(),
+            "source_rows": self.total_source_rows,
+            "ground_truth_rows": len(self.ground_truth),
+            "evaluation_key": list(self.evaluation_key),
+            "has_reference": self.reference is not None,
+            "has_master": self.master is not None,
+        }

@@ -1,7 +1,26 @@
-"""The high-level pay-as-you-go wrangling facade."""
+"""The high-level pay-as-you-go wrangling facade and the batch runner."""
 
+from repro.wrangler.batch import (
+    BatchConfig,
+    BatchReport,
+    ScenarioRunResult,
+    run_batch,
+    run_scenario,
+    wrangle_scenario,
+)
 from repro.wrangler.config import WranglerConfig
 from repro.wrangler.pipeline import Wrangler, build_default_registry
 from repro.wrangler.result import WranglingResult
 
-__all__ = ["Wrangler", "WranglerConfig", "WranglingResult", "build_default_registry"]
+__all__ = [
+    "Wrangler",
+    "WranglerConfig",
+    "WranglingResult",
+    "build_default_registry",
+    "BatchConfig",
+    "BatchReport",
+    "ScenarioRunResult",
+    "run_batch",
+    "run_scenario",
+    "wrangle_scenario",
+]

@@ -309,6 +309,79 @@ class TestOrchestrator:
         with pytest.raises(OrchestrationError):
             orchestrator.run()
 
+    def test_stall_raises_with_trace(self):
+        """Regression: a session where nothing can ever run must raise (with
+        the trace and the unmet dependencies), not silently return an empty
+        trace."""
+        kb = KnowledgeBase()  # no source registered: dependencies unmet
+        orchestrator = Orchestrator(kb, [RecordingTransducer("matcher")])
+        with pytest.raises(OrchestrationError) as excinfo:
+            orchestrator.run()
+        assert "unmet input dependencies" in str(excinfo.value)
+        assert "matcher" in str(excinfo.value)
+        assert "schema(S, source)" in str(excinfo.value)
+        assert excinfo.value.trace is orchestrator.trace
+        assert len(excinfo.value.trace) == 0
+
+    def test_quiescence_after_progress_does_not_raise(self):
+        """A starved transducer is normal once other work has executed (e.g.
+        extraction never runs in a table-only session)."""
+        kb = KnowledgeBase()
+        kb.register_table(make_table(), Predicates.ROLE_SOURCE)
+
+        class Starved(RecordingTransducer):
+            input_dependencies = ("web_source(S)",)
+
+        orchestrator = Orchestrator(
+            kb, [RecordingTransducer("matcher"), Starved("extractor")])
+        trace = orchestrator.run()
+        assert len(trace) == 1
+        assert orchestrator.pending_dependencies() == {"extractor": ("web_source(S)",)}
+        # A later run call on the quiescent session stays silent too.
+        assert orchestrator.run() is trace
+
+    def test_empty_registry_quiesces_quietly(self):
+        orchestrator = Orchestrator(KnowledgeBase(), [])
+        assert len(orchestrator.run()) == 0
+
+    def test_pending_dependencies_reports_each_unmet_goal(self):
+        kb = KnowledgeBase()
+
+        class TwoGoals(RecordingTransducer):
+            input_dependencies = ("schema(S, source)", "schema(T, target)")
+
+        transducer = TwoGoals("both")
+        orchestrator = Orchestrator(kb, [transducer])
+        assert orchestrator.pending_dependencies() == {
+            "both": ("schema(S, source)", "schema(T, target)")}
+        kb.register_table(make_table(), Predicates.ROLE_SOURCE)
+        assert orchestrator.pending_dependencies() == {"both": ("schema(T, target)",)}
+
+    def test_budget_error_carries_trace(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("ping", 0)
+
+        class Echo(Transducer):
+            activity = Activity.MATCHING
+
+            def __init__(self, name, listens_to, emits):
+                self.name = name
+                self.input_dependencies = (f"{listens_to}(X)",)
+                super().__init__()
+                self._emits = emits
+                self._counter = 0
+
+            def run(self, inner_kb):
+                self._counter += 1
+                inner_kb.assert_fact(self._emits, self._counter)
+                return TransducerResult(facts_added=1)
+
+        orchestrator = Orchestrator(
+            kb, [Echo("a", "ping", "pong"), Echo("b", "pong", "ping")], max_steps=3)
+        with pytest.raises(OrchestrationError) as excinfo:
+            orchestrator.run()
+        assert len(excinfo.value.trace) == 3
+
     def test_reset_clears_history(self):
         kb = KnowledgeBase()
         kb.register_table(make_table(), Predicates.ROLE_SOURCE)

@@ -1,0 +1,272 @@
+"""Unit tests for the parametric scenario generator (repro.scenarios.synth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Wrangler
+from repro.quality import functional_dependency_confidence
+from repro.relational.types import DataType
+from repro.scenarios import (
+    FieldSpec,
+    Scenario,
+    ScenarioFamily,
+    SynthConfig,
+    family_names,
+    generate_synthetic,
+    register_family,
+    scenario_suite,
+)
+from repro.scenarios import synth
+
+SYNTHETIC_FAMILIES = ("product_catalog", "sensor_log", "org_directory")
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        names = family_names()
+        for family in (*SYNTHETIC_FAMILIES, "real_estate"):
+            assert family in names
+
+    def test_register_family_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_family("product_catalog", synth.PRODUCT_CATALOG)
+
+    def test_register_custom_family(self):
+        name = "test_tiny_family"
+        family = ScenarioFamily(
+            name=name,
+            target_relation="widget",
+            fields=(
+                FieldSpec("widget_id", DataType.STRING, ("ref", "code")),
+                FieldSpec("colour", DataType.STRING, ("hue", "tint")),
+                FieldSpec("weight", DataType.FLOAT, ("mass", "grams")),
+            ),
+            evaluation_key=("widget_id",),
+            reference_fields=("colour",),
+            reference_relation="colours",
+            master_fields=("widget_id", "weight"),
+            source_prefix="wfeed",
+            make_vocab=lambda rng, config: {
+                "directory": [{"colour": c} for c in ("red", "green", "blue")]},
+            make_entity=lambda rng, index, vocab: {
+                "widget_id": f"w{index:03d}",
+                "colour": rng.choice(vocab["directory"])["colour"],
+                "weight": round(rng.uniform(1.0, 9.0), 2),
+            },
+        )
+        register_family(name, family)
+        try:
+            scenario = generate_synthetic(SynthConfig(family=name, entities=20, seed=1))
+            assert scenario.family == name
+            assert len(scenario.ground_truth) == 20
+            assert scenario.target.name == "widget"
+        finally:
+            synth._FAMILIES.pop(name, None)
+
+
+class TestConfigValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            generate_synthetic(SynthConfig(family="nonsense"))
+
+    def test_bad_missing_pattern(self):
+        with pytest.raises(ValueError, match="missing pattern"):
+            generate_synthetic(SynthConfig(missing_pattern="diagonal"))
+
+    @pytest.mark.parametrize("overrides", [
+        {"entities": 0},
+        {"sources": 0},
+        {"noise": 1.5},
+        {"schema_drift": -0.1},
+    ])
+    def test_out_of_range_knobs(self, overrides):
+        with pytest.raises(ValueError):
+            generate_synthetic(SynthConfig(**overrides))
+
+    def test_label_defaults_and_override(self):
+        assert SynthConfig(family="sensor_log", seed=4).label() == "sensor_log-s4"
+        assert SynthConfig(name="custom").label() == "custom"
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+    def test_deterministic(self, family):
+        left = generate_synthetic(SynthConfig(family=family, entities=80, seed=6))
+        right = generate_synthetic(SynthConfig(family=family, entities=80, seed=6))
+        assert left.ground_truth.tuples() == right.ground_truth.tuples()
+        for one, two in zip(left.sources, right.sources):
+            assert one.schema.attribute_names == two.schema.attribute_names
+            assert one.tuples() == two.tuples()
+
+    @pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+    def test_seeds_differ(self, family):
+        left = generate_synthetic(SynthConfig(family=family, entities=80, seed=6))
+        right = generate_synthetic(SynthConfig(family=family, entities=80, seed=7))
+        assert left.sources[0].tuples() != right.sources[0].tuples()
+
+    def test_volume_and_source_count(self):
+        config = SynthConfig(family="product_catalog", entities=500, sources=4,
+                             source_coverage=0.6, seed=2)
+        scenario = generate_synthetic(config)
+        assert len(scenario.ground_truth) == 500
+        assert scenario.source_count == 4
+        for source in scenario.sources:
+            assert 0.4 * 500 <= len(source) <= 0.8 * 500
+
+    def test_zero_noise_sources_are_subsets_of_truth(self):
+        config = SynthConfig(family="org_directory", entities=120, seed=3,
+                             noise=0.0, missing=0.0, schema_drift=0.0)
+        scenario = generate_synthetic(config)
+        for source in scenario.sources:
+            for attribute in source.schema.attribute_names:
+                truth_values = set(scenario.ground_truth.column(attribute))
+                assert set(source.column(attribute)) <= truth_values
+
+    def test_noise_corrupts_values(self):
+        clean = generate_synthetic(SynthConfig(family="sensor_log", entities=150, seed=9,
+                                               noise=0.0, missing=0.0, schema_drift=0.0))
+        noisy = generate_synthetic(SynthConfig(family="sensor_log", entities=150, seed=9,
+                                               noise=0.4, missing=0.0, schema_drift=0.0))
+        truth_values = set(clean.ground_truth.column("value"))
+        novel = [value for value in noisy.sources[0].column("value")
+                 if value is not None and value not in truth_values]
+        assert novel, "a 40% noise rate must produce values absent from the ground truth"
+
+    def test_evaluation_key_immune_to_noise_and_nulls(self):
+        config = SynthConfig(family="product_catalog", entities=200, seed=4,
+                             noise=0.5, missing=0.5, schema_drift=0.0)
+        scenario = generate_synthetic(config)
+        truth_keys = set(scenario.ground_truth.column("sku"))
+        for source in scenario.sources:
+            for value in source.column("sku"):
+                assert value is not None
+                assert value in truth_keys
+
+    def test_reference_functional_dependencies_hold(self):
+        for family in SYNTHETIC_FAMILIES:
+            scenario = generate_synthetic(SynthConfig(family=family, entities=150, seed=5))
+            reference = scenario.reference
+            assert reference is not None and len(reference) > 0
+            key = reference.schema.attribute_names[0]
+            for dependent in reference.schema.attribute_names[1:]:
+                assert functional_dependency_confidence(reference, [key], dependent) == 1.0
+
+    def test_reference_size_shrinks_reference(self):
+        full = generate_synthetic(SynthConfig(family="product_catalog", entities=300,
+                                              seed=8, reference_size=1.0))
+        half = generate_synthetic(SynthConfig(family="product_catalog", entities=300,
+                                              seed=8, reference_size=0.4))
+        assert len(half.reference) < len(full.reference)
+        none = generate_synthetic(SynthConfig(family="product_catalog", entities=300,
+                                              seed=8, reference_size=0.0))
+        assert none.reference is None
+
+    def test_master_coverage(self):
+        scenario = generate_synthetic(SynthConfig(family="org_directory", entities=400,
+                                                  seed=2, master_coverage=0.3))
+        assert 0.15 * 400 <= len(scenario.master) <= 0.45 * 400
+        bare = generate_synthetic(SynthConfig(family="org_directory", entities=50,
+                                              seed=2, master_coverage=0.0))
+        assert bare.master is None
+
+
+class TestSchemaDrift:
+    def test_no_drift_keeps_canonical_names(self):
+        scenario = generate_synthetic(SynthConfig(family="sensor_log", entities=50,
+                                                  seed=1, schema_drift=0.0))
+        canonical = set(scenario.target.attribute_names)
+        for source in scenario.sources:
+            assert set(source.schema.attribute_names) == canonical
+
+    def test_full_drift_renames_attributes(self):
+        scenario = generate_synthetic(SynthConfig(family="sensor_log", entities=50,
+                                                  seed=1, sources=3, schema_drift=1.0))
+        canonical = set(scenario.target.attribute_names)
+        for source in scenario.sources:
+            assert set(source.schema.attribute_names).isdisjoint(canonical)
+
+
+class TestMissingPatterns:
+    def _null_counts(self, pattern: str) -> dict[str, int]:
+        scenario = generate_synthetic(SynthConfig(
+            family="org_directory", entities=400, seed=13, sources=1, noise=0.0,
+            missing=0.2, missing_pattern=pattern, schema_drift=0.0))
+        source = scenario.sources[0]
+        return {name: source.null_count(name) for name in source.schema.attribute_names}
+
+    def test_random_pattern_spreads_nulls(self):
+        counts = self._null_counts("random")
+        nullable = {name: count for name, count in counts.items() if name != "employee_id"}
+        assert all(count > 0 for count in nullable.values())
+
+    def test_column_pattern_concentrates_nulls(self):
+        counts = self._null_counts("column")
+        nullable = [count for name, count in counts.items() if name != "employee_id"]
+        assert any(count == 0 for count in nullable)
+        assert any(count > 0 for count in nullable)
+
+    def test_tail_pattern_degrades_later_rows(self):
+        scenario = generate_synthetic(SynthConfig(
+            family="org_directory", entities=400, seed=13, sources=1, noise=0.0,
+            missing=0.2, missing_pattern="tail", schema_drift=0.0))
+        source = scenario.sources[0]
+        half = len(source) // 2
+        def nulls(rows):
+            return sum(1 for row in rows for value in row.values if value is None)
+        first = nulls(source.rows()[:half])
+        second = nulls(source.rows()[half:])
+        assert second > 2 * first
+
+
+class TestScenarioContract:
+    def test_describe(self):
+        scenario = generate_synthetic(SynthConfig(family="product_catalog", entities=40, seed=1))
+        description = scenario.describe()
+        assert description["family"] == "product_catalog"
+        assert description["sources"] == ["catalog1", "catalog2"]
+        assert description["ground_truth_rows"] == 40
+        assert description["has_reference"] and description["has_master"]
+
+    def test_install_registers_sources_and_target(self):
+        scenario = generate_synthetic(SynthConfig(family="sensor_log", entities=30, seed=1))
+        wrangler = Wrangler()
+        scenario.install(wrangler)
+        assert wrangler.kb.source_relations() == sorted(scenario.source_names())
+        assert wrangler.kb.target_relations() == [scenario.target.name]
+
+    def test_real_estate_family_adapts_to_contract(self):
+        scenario = generate_synthetic(SynthConfig(family="real_estate", entities=60, seed=3))
+        assert isinstance(scenario, Scenario)
+        assert scenario.family == "real_estate"
+        assert scenario.source_count == 3
+        assert scenario.evaluation_key == ("postcode", "price")
+        assert scenario.reference is not None and scenario.master is not None
+
+    @pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+    def test_bootstrap_wrangles_every_family(self, family):
+        scenario = generate_synthetic(SynthConfig(family=family, entities=60, seed=11))
+        wrangler = Wrangler()
+        scenario.install(wrangler)
+        result = wrangler.run("bootstrap", ground_truth=scenario.ground_truth,
+                              ground_truth_key=scenario.evaluation_key)
+        assert result.row_count > 0
+        assert result.quality is not None
+        assert 0.0 < result.quality.overall() <= 1.0
+
+
+class TestScenarioSuite:
+    def test_default_suite_spans_all_families(self):
+        configs = scenario_suite(per_family=2, seed=0, entities=100)
+        families = {config.family for config in configs}
+        assert set(SYNTHETIC_FAMILIES) <= families
+        assert len(configs) == 2 * len(family_names())
+        assert len({config.seed for config in configs}) == len(configs)
+        assert all(config.entities == 100 for config in configs)
+
+    def test_suite_is_deterministic(self):
+        assert scenario_suite(per_family=3, seed=5) == scenario_suite(per_family=3, seed=5)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            scenario_suite(["nonsense"])
