@@ -41,6 +41,13 @@ from repro.core import (
     TransducerRegistry,
     TransducerResult,
 )
+from repro.provenance import (
+    LineageTree,
+    ProvenanceStore,
+    SourceRef,
+    explain,
+    render_lineage,
+)
 from repro.relational import Attribute, Catalog, DataType, Schema, Table
 from repro.scenarios import (
     RealEstateScenario,
@@ -61,6 +68,7 @@ from repro.wrangler import (
     WranglerConfig,
     WranglingResult,
     build_default_registry,
+    iter_run,
     run_batch,
     run_scenario,
 )
@@ -115,6 +123,13 @@ __all__ = [
     "BatchConfig",
     "BatchReport",
     "ScenarioRunResult",
+    "iter_run",
     "run_batch",
     "run_scenario",
+    # provenance
+    "ProvenanceStore",
+    "SourceRef",
+    "LineageTree",
+    "explain",
+    "render_lineage",
 ]

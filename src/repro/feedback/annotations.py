@@ -37,8 +37,9 @@ class FeedbackCollector:
         self._counter += 1
         return f"fb_{self._counter}"
 
-    def annotate_attribute(self, relation: str, row_key: str, attribute: str, *,
-                           correct: bool) -> Feedback:
+    def annotate_attribute(
+        self, relation: str, row_key: str, attribute: str, *, correct: bool
+    ) -> Feedback:
         """Attribute-level feedback on one result cell."""
         feedback = Feedback(self._next_id(), relation, row_key, attribute, correct)
         self._kb.assert_tuple(feedback.to_fact())
@@ -46,8 +47,7 @@ class FeedbackCollector:
 
     def annotate_tuple(self, relation: str, row_key: str, *, correct: bool) -> Feedback:
         """Tuple-level feedback on one result row."""
-        feedback = Feedback(self._next_id(), relation, row_key,
-                            Predicates.ANY_ATTRIBUTE, correct)
+        feedback = Feedback(self._next_id(), relation, row_key, Predicates.ANY_ATTRIBUTE, correct)
         self._kb.assert_tuple(feedback.to_fact())
         return feedback
 
@@ -59,11 +59,17 @@ class FeedbackCollector:
         return added
 
 
-def simulate_feedback(result: Table, ground_truth: Table, key: Sequence[str], *,
-                      attributes: Sequence[str] | None = None,
-                      budget: int = 50, seed: int = 0,
-                      strategy: str = "random",
-                      id_prefix: str = "sim") -> list[Feedback]:
+def simulate_feedback(
+    result: Table,
+    ground_truth: Table,
+    key: Sequence[str],
+    *,
+    attributes: Sequence[str] | None = None,
+    budget: int = 50,
+    seed: int = 0,
+    strategy: str = "random",
+    id_prefix: str = "sim",
+) -> list[Feedback]:
     """Simulate a user annotating ``budget`` result cells against ground truth.
 
     Cells are sampled from the checkable cells (rows whose key appears in the
@@ -83,9 +89,11 @@ def simulate_feedback(result: Table, ground_truth: Table, key: Sequence[str], *,
         raise ValueError(f"unknown feedback strategy {strategy!r}")
     rng = random.Random(seed)
     if attributes is None:
-        attributes = [name for name in result.schema.attribute_names
-                      if name in ground_truth.schema and name not in key
-                      and not name.startswith("_")]
+        attributes = [
+            name
+            for name in result.schema.attribute_names
+            if name in ground_truth.schema and name not in key and not name.startswith("_")
+        ]
     truth_index: dict[tuple, dict] = {}
     for row in ground_truth.rows():
         truth_key = normalise_key_tuple(row.get(k) for k in key)
@@ -118,13 +126,15 @@ def simulate_feedback(result: Table, ground_truth: Table, key: Sequence[str], *,
         candidates.sort(key=lambda item: item[2])  # incorrect (False) first
     annotations = []
     for counter, (row_key, attribute, correct) in enumerate(candidates[:budget], start=1):
-        annotations.append(Feedback(
-            feedback_id=f"{id_prefix}_{counter}",
-            relation=result.name,
-            row_key=row_key,
-            attribute=attribute,
-            correct=correct,
-        ))
+        annotations.append(
+            Feedback(
+                feedback_id=f"{id_prefix}_{counter}",
+                relation=result.name,
+                row_key=row_key,
+                attribute=attribute,
+                correct=correct,
+            )
+        )
     return annotations
 
 

@@ -10,8 +10,10 @@ for the user."
 The assimilator:
 
 1. attributes each feedback annotation to the ``(source relation, target
-   attribute)`` assignment that produced the annotated value (via the
-   result's provenance columns and the selected mapping);
+   attribute)`` assignment that produced the annotated value — through the
+   recorded why-provenance when a lineage store is available (see
+   :mod:`repro.provenance.feedback`), else via the result's provenance
+   columns;
 2. computes per-assignment error rates;
 3. revises the corresponding ``match`` scores (down for error-prone
    assignments, slightly up for confirmed ones);
@@ -22,60 +24,73 @@ The assimilator:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 
 from repro.core.facts import Predicates
 from repro.core.knowledge_base import KnowledgeBase
 from repro.matching.correspondence import Correspondence, MatchSet
 from repro.mapping.model import PROVENANCE_ROW_ID, PROVENANCE_SOURCE, SchemaMapping
+from repro.provenance.feedback import (
+    LineageEvidence,
+    LineageFeedbackPropagator,
+    LineagePropagation,
+)
+from repro.provenance.model import ProvenanceStore
 
 __all__ = ["AssignmentEvidence", "FeedbackAssimilator"]
 
-
-@dataclass
-class AssignmentEvidence:
-    """Feedback tallies for one (source relation, target attribute) assignment."""
-
-    source_relation: str
-    target_attribute: str
-    correct: int = 0
-    incorrect: int = 0
-
-    @property
-    def total(self) -> int:
-        """Number of annotations observed for this assignment."""
-        return self.correct + self.incorrect
-
-    @property
-    def error_rate(self) -> float:
-        """Fraction of annotated values that were marked incorrect."""
-        if self.total == 0:
-            return 0.0
-        return self.incorrect / self.total
+#: Per-assignment feedback tallies. The lineage propagator's evidence record
+#: carries exactly the fields assimilation needs (source relation, target
+#: attribute, correct/incorrect tallies, error rate), so there is one
+#: evidence type whichever attribution path produced it.
+AssignmentEvidence = LineageEvidence
 
 
 class FeedbackAssimilator:
     """Turns feedback facts into revised match scores and error-rate artifacts."""
 
-    def __init__(self, *, penalty_scale: float = 0.4, reward_scale: float = 0.05,
-                 min_annotations: int = 1):
+    def __init__(
+        self,
+        *,
+        penalty_scale: float = 0.4,
+        reward_scale: float = 0.05,
+        min_annotations: int = 1,
+    ):
         self._penalty_scale = penalty_scale
         self._reward_scale = reward_scale
         self._min_annotations = min_annotations
 
-    def collect_evidence(self, kb: KnowledgeBase, selected_mapping: SchemaMapping | None,
-                         ) -> dict[tuple[str, str], AssignmentEvidence]:
+    def collect_evidence(
+        self,
+        kb: KnowledgeBase,
+        selected_mapping: SchemaMapping | None,
+        provenance: ProvenanceStore | None = None,
+        *,
+        propagation: LineagePropagation | None = None,
+    ) -> dict[tuple[str, str], AssignmentEvidence]:
         """Aggregate feedback facts into per-assignment evidence.
 
-        The result table's provenance column identifies the source relation
-        of each annotated row; attribute-level feedback then points at the
-        assignment for that (source, attribute). Tuple-level feedback
-        contributes to every assignment of the source that produced the row.
+        With a provenance store, each annotation is attributed through the
+        recorded lineage of the annotated cell: joined-in attributes are
+        blamed on the lookup source that supplied them, fused cells on the
+        sources whose value won the conflict, repaired cells on the CFD that
+        rewrote them. Annotations without recorded lineage fall back to the
+        coarse path — the result table's ``_source`` column identifies the
+        contributing source relation of the whole row. Callers that already
+        ran the propagator (the mapping-evaluation transducer does, for the
+        per-mapping penalties) pass its ``propagation`` to avoid a second
+        attribution pass over the same feedback facts.
         """
         evidence: dict[tuple[str, str], AssignmentEvidence] = {}
         feedback_rows = kb.facts(Predicates.FEEDBACK)
         if not feedback_rows:
             return evidence
+        if propagation is None and provenance is not None:
+            propagation = LineageFeedbackPropagator().collect(kb, provenance)
+        if propagation is not None:
+            evidence.update(propagation.evidence)
+            feedback_rows = propagation.unattributed
+            if not feedback_rows:
+                return evidence
         row_sources = self._row_sources(kb)
         target_attributes = self._target_attributes(kb)
         for _fid, relation, row_key, attribute, verdict in feedback_rows:
@@ -92,17 +107,19 @@ class FeedbackAssimilator:
                 attributes = [attribute]
             for target_attribute in attributes:
                 key = (source, target_attribute)
-                entry = evidence.setdefault(
-                    key, AssignmentEvidence(source, target_attribute))
+                entry = evidence.setdefault(key, AssignmentEvidence(source, target_attribute))
                 if correct:
                     entry.correct += 1
                 else:
                     entry.incorrect += 1
         return evidence
 
-    def revise_matches(self, kb: KnowledgeBase,
-                       evidence: dict[tuple[str, str], AssignmentEvidence],
-                       source_row_counts: dict[str, int] | None = None) -> int:
+    def revise_matches(
+        self,
+        kb: KnowledgeBase,
+        evidence: dict[tuple[str, str], AssignmentEvidence],
+        source_row_counts: dict[str, int] | None = None,
+    ) -> int:
         """Revise ``match`` scores in the KB according to the evidence.
 
         Returns the number of match facts whose score changed. Error-prone
@@ -129,7 +146,8 @@ class FeedbackAssimilator:
             coverage = min(1.0, entry.total / rows)
             if entry.error_rate > 0:
                 new_score = correspondence.score * (
-                    1.0 - self._penalty_scale * entry.error_rate * coverage)
+                    1.0 - self._penalty_scale * entry.error_rate * coverage
+                )
             else:
                 support = min(1.0, entry.correct / 10.0)
                 new_score = min(1.0, correspondence.score + self._reward_scale * support)
@@ -142,17 +160,20 @@ class FeedbackAssimilator:
             MatchSet(revised).assert_into(kb)
         return changed
 
-    def error_rates(self, evidence: dict[tuple[str, str], AssignmentEvidence]
-                    ) -> dict[tuple[str, str], dict[str, float]]:
+    def error_rates(
+        self, evidence: dict[tuple[str, str], AssignmentEvidence]
+    ) -> dict[tuple[str, str], dict[str, float]]:
         """Per-assignment error statistics (the ``feedback_penalties`` artifact).
 
         Each entry carries both the observed error rate and the number of
         annotations it is based on, so consumers can weight the (possibly
         biased) feedback sample against their own evidence.
         """
-        return {key: {"error_rate": entry.error_rate, "annotations": float(entry.total)}
-                for key, entry in evidence.items()
-                if entry.total >= self._min_annotations}
+        return {
+            key: {"error_rate": entry.error_rate, "annotations": float(entry.total)}
+            for key, entry in evidence.items()
+            if entry.total >= self._min_annotations
+        }
 
     def source_row_counts(self, kb: KnowledgeBase) -> dict[str, int]:
         """Number of result rows contributed by each source relation."""
@@ -185,6 +206,7 @@ class FeedbackAssimilator:
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
-            attributes[relation] = [name for name in table.schema.attribute_names
-                                    if not name.startswith("_")]
+            attributes[relation] = [
+                name for name in table.schema.attribute_names if not name.startswith("_")
+            ]
         return attributes

@@ -2,13 +2,14 @@
 
 When ``feedback`` facts appear in the knowledge base the mapping-evaluation
 transducer becomes runnable. It attributes the feedback to the matches used
-by the selected mapping, revises their scores, and publishes feedback-derived
-error rates — changes to the ``match`` predicate then make mapping
-generation (and everything downstream) runnable again, closing the paper's
-feedback loop. The feedback-repair transducer applies the annotations
-directly to the materialised result (values the user has marked incorrect
-are removed, tuples marked incorrect are dropped), so the user's effort pays
-off immediately as well as through re-orchestration.
+by the selected mapping (through recorded why-provenance when available),
+revises their scores, and publishes feedback-derived error rates — changes
+to the ``match`` predicate then make mapping generation (and everything
+downstream) runnable again, closing the paper's feedback loop. The
+feedback-repair transducer applies the annotations directly to the
+materialised result (values the user has marked incorrect are removed,
+tuples marked incorrect are dropped), so the user's effort pays off
+immediately as well as through re-orchestration.
 """
 
 from __future__ import annotations
@@ -19,6 +20,11 @@ from repro.core.transducer import Activity, Transducer, TransducerResult
 from repro.feedback.assimilation import FeedbackAssimilator
 from repro.mapping.model import PROVENANCE_ROW_ID
 from repro.mapping.transducers import FEEDBACK_PENALTIES_ARTIFACT_KEY, MAPPINGS_ARTIFACT_KEY
+from repro.provenance.feedback import (
+    LINEAGE_PENALTIES_ARTIFACT_KEY,
+    LineageFeedbackPropagator,
+)
+from repro.provenance.model import OPERATOR_FEEDBACK, provenance_store
 from repro.relational.types import is_null
 
 __all__ = ["MappingEvaluationTransducer", "FeedbackRepairTransducer"]
@@ -46,24 +52,38 @@ class MappingEvaluationTransducer(Transducer):
             if rank == 1 and mapping_id in candidates:
                 selected_mapping = candidates[mapping_id]
                 break
-        evidence = self._assimilator.collect_evidence(kb, selected_mapping)
+        store = provenance_store(kb)
+        # One lineage-targeted attribution pass: it yields both the
+        # per-assignment evidence (reused by the assimilator below) and the
+        # per-mapping penalties naming exactly the implicated candidates.
+        propagation = LineageFeedbackPropagator().collect(kb, store, candidates)
+        evidence = self._assimilator.collect_evidence(
+            kb, selected_mapping, store, propagation=propagation
+        )
         source_rows = self._assimilator.source_row_counts(kb)
         revised = self._assimilator.revise_matches(kb, evidence, source_rows)
         penalties = self._assimilator.error_rates(evidence)
         kb.store_artifact(FEEDBACK_PENALTIES_ARTIFACT_KEY, penalties)
+        kb.store_artifact(LINEAGE_PENALTIES_ARTIFACT_KEY, propagation.mapping_penalties)
         problem_assignments = sorted(
             f"{source}.{attribute}={entry['error_rate']:.2f}"
             for (source, attribute), entry in penalties.items()
-            if entry["error_rate"] > 0)
+            if entry["error_rate"] > 0
+        )
         return TransducerResult(
             facts_added=0,
-            notes=(f"assimilated feedback on {len(evidence)} assignments; "
-                   f"revised {revised} match scores"),
+            notes=(
+                f"assimilated feedback on {len(evidence)} assignments; "
+                f"revised {revised} match scores; "
+                f"{len(propagation.implicated_mappings())} mappings implicated"
+            ),
             details={
-                "evidence": {f"{s}.{a}": (e.correct, e.incorrect)
-                             for (s, a), e in evidence.items()},
+                "evidence": {
+                    f"{s}.{a}": (e.correct, e.incorrect) for (s, a), e in evidence.items()
+                },
                 "revised_matches": revised,
                 "problem_assignments": problem_assignments,
+                "implicated_mappings": propagation.implicated_mappings(),
             },
         )
 
@@ -97,6 +117,7 @@ class FeedbackRepairTransducer(Transducer):
         cells_cleared = 0
         rows_dropped = 0
         tables_written = []
+        store = provenance_store(kb)
         for relation, annotations in by_relation.items():
             if not kb.has_table(relation):
                 continue
@@ -104,10 +125,16 @@ class FeedbackRepairTransducer(Transducer):
             if PROVENANCE_ROW_ID not in table.schema:
                 continue
             row_id_position = table.schema.position(PROVENANCE_ROW_ID)
-            cell_marks = {(row_key, attribute) for row_key, attribute in annotations
-                          if attribute != Predicates.ANY_ATTRIBUTE}
-            row_marks = {row_key for row_key, attribute in annotations
-                         if attribute == Predicates.ANY_ATTRIBUTE}
+            cell_marks = {
+                (row_key, attribute)
+                for row_key, attribute in annotations
+                if attribute != Predicates.ANY_ATTRIBUTE
+            }
+            row_marks = {
+                row_key
+                for row_key, attribute in annotations
+                if attribute == Predicates.ANY_ATTRIBUTE
+            }
             new_rows = []
             changed = False
             for values in table.tuples():
@@ -115,6 +142,7 @@ class FeedbackRepairTransducer(Transducer):
                 if row_key in row_marks:
                     rows_dropped += 1
                     changed = True
+                    store.record_drop(relation, row_key, reason="feedback: tuple marked incorrect")
                     continue
                 mutable = list(values)
                 for position, attribute in enumerate(table.schema.attribute_names):
@@ -122,6 +150,18 @@ class FeedbackRepairTransducer(Transducer):
                         mutable[position] = None
                         cells_cleared += 1
                         changed = True
+                        # Keep the prior witnesses: the cell is cleared, but
+                        # the lineage of the value the user rejected is what
+                        # feedback assimilation must blame.
+                        prior = store.cell_lineage(relation, row_key, attribute)
+                        store.record_cell(
+                            relation,
+                            row_key,
+                            attribute,
+                            operator=OPERATOR_FEEDBACK,
+                            witnesses=prior.witnesses if prior else (),
+                            detail="cleared: marked incorrect",
+                        )
                 new_rows.append(tuple(mutable))
             if changed:
                 kb.update_table(table.replace_rows(new_rows))
@@ -129,7 +169,6 @@ class FeedbackRepairTransducer(Transducer):
         return TransducerResult(
             facts_added=0,
             tables_written=tables_written,
-            notes=f"applied feedback: cleared {cells_cleared} cells, "
-                  f"dropped {rows_dropped} rows",
+            notes=f"applied feedback: cleared {cells_cleared} cells, dropped {rows_dropped} rows",
             details={"cells_cleared": cells_cleared, "rows_dropped": rows_dropped},
         )

@@ -18,7 +18,8 @@ from repro.matching.similarity import jaro_winkler_similarity
 from repro.relational.table import Row, Table
 from repro.relational.types import is_null
 
-__all__ = ["DuplicatePair", "DuplicateDetectorConfig", "DuplicateDetector"]
+__all__ = ["DuplicatePair", "DuplicateDetectorConfig", "DuplicateDetector",
+           "cluster_row_keys"]
 
 
 @dataclass(frozen=True)
@@ -149,3 +150,16 @@ def cluster_pairs(pairs: Sequence[DuplicatePair], size: int) -> list[list[int]]:
     for index in range(size):
         clusters.setdefault(find(index), []).append(index)
     return [sorted(members) for members in clusters.values() if len(members) > 1]
+
+
+def cluster_row_keys(table: Table, pairs: Sequence[DuplicatePair]) -> list[list[str]]:
+    """Duplicate clusters as stable row keys instead of positional indexes.
+
+    Row keys (see :meth:`~repro.relational.table.Table.row_keys`) are what
+    the provenance store and feedback annotations are keyed on, so this is
+    the form lineage consumers want clusters in — positional indexes go
+    stale as soon as fusion rewrites the table.
+    """
+    keys = table.row_keys()
+    return [[keys[member] for member in members]
+            for members in cluster_pairs(pairs, len(table))]

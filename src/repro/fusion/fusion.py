@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.fusion.duplicates import DuplicatePair, cluster_pairs
-from repro.relational.table import Table
+from repro.provenance.model import OPERATOR_FUSION, ProvenanceStore
+from repro.relational.table import ROW_KEY_ATTRIBUTE, Table
 from repro.relational.types import is_null
 
 __all__ = ["FusionPolicy", "FusionResult", "DataFuser"]
@@ -58,11 +59,15 @@ class DataFuser:
         self._default_policy = default_policy
         self._attribute_policies = dict(attribute_policies or {})
 
-    def fuse(self, table: Table, duplicates: Sequence[DuplicatePair]) -> FusionResult:
+    def fuse(self, table: Table, duplicates: Sequence[DuplicatePair], *,
+             provenance: ProvenanceStore | None = None) -> FusionResult:
         """Collapse duplicate clusters of ``table`` into single rows.
 
         Non-duplicate rows are kept unchanged and row order is preserved
-        (each cluster is emitted at the position of its first member).
+        (each cluster is emitted at the position of its first member). With
+        a provenance store, the merged members' lineage is unioned into the
+        surviving row (one why-provenance witness per duplicate) and every
+        conflicting cell records which members supplied the winning value.
         """
         if not duplicates:
             return FusionResult(table=table, clusters_fused=0, rows_removed=0,
@@ -74,6 +79,8 @@ class DataFuser:
                 in_cluster[member] = cluster_id
         rows = table.tuples()
         names = table.schema.attribute_names
+        track = provenance is not None and provenance.enabled
+        row_keys = table.row_keys() if track else []
         emitted_clusters: set[int] = set()
         fused_rows: list[tuple] = []
         conflicts = 0
@@ -86,9 +93,12 @@ class DataFuser:
                 continue
             emitted_clusters.add(cluster_id)
             members = clusters[cluster_id]
-            merged, cluster_conflicts = self._merge(names, [rows[m] for m in members])
+            merged, cluster_conflicts, winners = self._merge(names, [rows[m] for m in members])
             conflicts += cluster_conflicts
             fused_rows.append(merged)
+            if track:
+                self._record_merge(provenance, table.name, names, merged, members,
+                                   row_keys, winners)
         fused_table = table.replace_rows(fused_rows)
         return FusionResult(
             table=fused_table,
@@ -97,17 +107,70 @@ class DataFuser:
             conflicts_resolved=conflicts,
         )
 
-    def _merge(self, names: Sequence[str], member_rows: list[tuple]) -> tuple[tuple, int]:
+    def _record_merge(self, provenance: ProvenanceStore, relation: str,
+                      names: Sequence[str], merged: tuple, members: Sequence[int],
+                      row_keys: Sequence[str],
+                      winners: Mapping[int, list[int]]) -> None:
+        """Record the lineage of one fused cluster row."""
+        member_keys = [row_keys[m] for m in members]
+        if ROW_KEY_ATTRIBUTE in names:
+            kept_value = merged[list(names).index(ROW_KEY_ATTRIBUTE)]
+            kept_key = str(kept_value) if kept_value is not None else member_keys[0]
+        else:
+            kept_key = member_keys[0]
+        member_lineages = {key: provenance.tuple_lineage(relation, key)
+                           for key in member_keys}
+        provenance.merge_tuples(
+            relation, kept_key,
+            [key for key in member_keys if key != kept_key],
+            operator=OPERATOR_FUSION)
+        # Per-cell lineage of the fused row: conflicting cells are witnessed
+        # by the members whose value won, agreeing cells by every member.
+        # The kept tuple's shared cell_sources map is per-*mapping* and
+        # cannot express cross-member support, so fused rows carry explicit
+        # overrides (clusters are a small fraction of any result, so this
+        # stays bounded).
+        all_members = list(range(len(member_keys)))
+        for position, name in enumerate(names):
+            if name.startswith("_"):
+                continue
+            conflict = position in winners
+            contributing = winners[position] if conflict else all_members
+            witnesses: set = set()
+            for member_position in contributing:
+                lineage = member_lineages.get(member_keys[member_position])
+                if lineage is not None:
+                    witnesses.update(lineage.cell(name).witnesses)
+            policy = self._attribute_policies.get(name, self._default_policy)
+            provenance.record_cell(relation, kept_key, name,
+                                   operator=OPERATOR_FUSION,
+                                   witnesses=witnesses,
+                                   detail=policy if conflict else None)
+
+    def _merge(self, names: Sequence[str],
+               member_rows: list[tuple]) -> tuple[tuple, int, dict[int, list[int]]]:
+        """Merge one cluster; returns (row, conflict count, conflict winners).
+
+        ``winners`` maps conflicting attribute positions to the member
+        positions whose (normalised) value matches the resolved one — the
+        cell-level why-provenance of the conflict resolution.
+        """
         merged = []
         conflicts = 0
+        winners: dict[int, list[int]] = {}
         for position, name in enumerate(names):
             values = [row[position] for row in member_rows]
             present = [value for value in values if not is_null(value)]
             distinct = {self._normalise(value) for value in present}
+            resolved = self._resolve(name, present)
             if len(distinct) > 1:
                 conflicts += 1
-            merged.append(self._resolve(name, present))
-        return tuple(merged), conflicts
+                resolved_key = self._normalise(resolved)
+                winners[position] = [
+                    member_position for member_position, value in enumerate(values)
+                    if not is_null(value) and self._normalise(value) == resolved_key]
+            merged.append(resolved)
+        return tuple(merged), conflicts, winners
 
     def _resolve(self, attribute: str, values: list[Any]) -> Any:
         if not values:

@@ -14,6 +14,7 @@ from repro.core.transducer import Activity, Transducer, TransducerResult
 from repro.fusion.duplicates import DuplicateDetector, DuplicateDetectorConfig, DuplicatePair
 from repro.fusion.fusion import DataFuser
 from repro.mapping.model import PROVENANCE_ROW_ID
+from repro.provenance.model import provenance_store
 
 __all__ = ["DUPLICATES_ARTIFACT_KEY", "DuplicateDetectionTransducer", "DataFusionTransducer"]
 
@@ -76,11 +77,12 @@ class DataFusionTransducer(Transducer):
         all_pairs = kb.get_artifact(DUPLICATES_ARTIFACT_KEY, {})
         fused_tables = []
         rows_removed = 0
+        store = provenance_store(kb)
         for relation, pairs in all_pairs.items():
             if not pairs or not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
-            result = self._fuser.fuse(table, pairs)
+            result = self._fuser.fuse(table, pairs, provenance=store)
             if result.rows_removed == 0:
                 continue
             kb.update_table(result.table)

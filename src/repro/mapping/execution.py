@@ -5,6 +5,12 @@ a table in the target schema. Missing target attributes become NULL; every
 output row carries two bookkeeping columns, ``_source`` (the contributing
 source relation) and ``_row_id`` (``source:index``), which provide the
 provenance needed for tuple/attribute-level feedback.
+
+When the executor is given a :class:`~repro.provenance.model.ProvenanceStore`
+it additionally records full why-provenance for every output tuple: the
+witness (driving row plus any joined rows) and the shared
+``attribute -> source relation`` map of the producing leaf mapping, so that
+cell-level lineage can be derived without per-cell storage.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.mapping.model import PROVENANCE_ROW_ID, PROVENANCE_SOURCE, SchemaMapping
+from repro.provenance.model import OPERATOR_MAPPING, ProvenanceStore
 from repro.relational.catalog import Catalog
 from repro.relational.errors import TableNotFoundError
 from repro.relational.keys import normalise_key
@@ -25,37 +32,86 @@ __all__ = ["MappingExecutor"]
 class MappingExecutor:
     """Materialises mappings over a catalog of source tables."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, *, provenance: ProvenanceStore | None = None):
         self._catalog = catalog
+        self._provenance = provenance
 
-    def execute(self, mapping: SchemaMapping, target_schema: Schema, *,
-                result_name: str | None = None) -> Table:
+    def execute(
+        self,
+        mapping: SchemaMapping,
+        target_schema: Schema,
+        *,
+        result_name: str | None = None,
+    ) -> Table:
         """Materialise ``mapping`` into a table named ``result_name``.
 
         The output schema is the target schema plus the two provenance
         columns; values are coerced to the target attribute types (coercion
-        failures become NULL rather than aborting the wrangle).
+        failures become NULL rather than aborting the wrangle). With a
+        provenance store, each output tuple's lineage is recorded under the
+        output relation (replacing any lineage from a previous
+        materialisation).
         """
-        rows = list(self._rows_for(mapping, target_schema))
-        output_schema = self._output_schema(target_schema, result_name or
-                                            f"{target_schema.name}__{mapping.mapping_id}")
+        name = result_name or f"{target_schema.name}__{mapping.mapping_id}"
+        store = self._provenance
+        if store is not None and not store.enabled:
+            store = None
+        if store is not None:
+            store.clear_relation(name)
         coerced_rows = []
-        for row in rows:
+        for row, refs, leaf in self._rows_for(mapping, target_schema):
             coerced = []
             for attribute, value in zip(target_schema.attributes, row[:-2]):
                 coerced.append(_coerce_or_null(value, attribute.dtype))
             coerced_rows.append((*coerced, row[-2], row[-1]))
+            if store is not None:
+                store.record_tuple(
+                    name,
+                    str(row[-1]),
+                    operator=OPERATOR_MAPPING,
+                    witnesses=(frozenset(refs),),
+                    mapping_id=mapping.mapping_id,
+                    cell_sources=self._cell_sources(leaf),
+                )
+        output_schema = self._output_schema(target_schema, name)
         return Table(output_schema, coerced_rows, coerce=False)
 
     # -- internals -----------------------------------------------------------
 
     def _output_schema(self, target_schema: Schema, name: str) -> Schema:
         attributes = list(target_schema.attributes)
-        attributes.append(Attribute(PROVENANCE_SOURCE, DataType.STRING,
-                                    description="provenance: contributing source relation"))
-        attributes.append(Attribute(PROVENANCE_ROW_ID, DataType.STRING,
-                                    description="provenance: source row identifier"))
+        attributes.append(
+            Attribute(
+                PROVENANCE_SOURCE,
+                DataType.STRING,
+                description="provenance: contributing source relation",
+            )
+        )
+        attributes.append(
+            Attribute(
+                PROVENANCE_ROW_ID,
+                DataType.STRING,
+                description="provenance: source row identifier",
+            )
+        )
         return Schema(name, attributes)
+
+    def _cell_sources(self, leaf: SchemaMapping) -> dict[str, str]:
+        """``target attribute -> source relation`` for one leaf mapping.
+
+        Only assignments whose source attribute actually exists are kept —
+        an attribute the mapping cannot populate has no contributing source
+        (its cells are NULL constants with empty lineage).
+        """
+        cell_sources: dict[str, str] = {}
+        for assignment in leaf.assignments:
+            try:
+                source = self._get(assignment.source_relation)
+            except TableNotFoundError:
+                continue
+            if assignment.source_attribute in source.schema:
+                cell_sources[assignment.target_attribute] = assignment.source_relation
+        return cell_sources
 
     def _rows_for(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
         if mapping.kind == "union":
@@ -70,23 +126,28 @@ class MappingExecutor:
     def _direct_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
         source_name = mapping.sources[0]
         source = self._get(source_name)
+        store = self._provenance
         positions = {}
         for assignment in mapping.assignments:
             if assignment.source_attribute in source.schema:
                 positions[assignment.target_attribute] = source.schema.position(
-                    assignment.source_attribute)
+                    assignment.source_attribute
+                )
         for index, values in enumerate(source.tuples()):
             row = []
             for attribute in target_schema.attribute_names:
                 position = positions.get(attribute)
                 row.append(values[position] if position is not None else None)
-            yield (*row, source_name, f"{source_name}:{index}")
+            row_id = f"{source_name}:{index}"
+            refs = (store.ref(source_name, row_id),) if store is not None else ()
+            yield (*row, source_name, row_id), refs, mapping
 
     def _join_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
         # Join the sources pairwise following the declared conditions. The
         # first source is the driving relation for provenance purposes.
         driving_name = mapping.sources[0]
         driving = self._get(driving_name)
+        store = self._provenance
         # Build per-source indexes for the join conditions that involve the
         # driving relation; additional sources are joined via nested lookups.
         others = [name for name in mapping.sources[1:]]
@@ -105,10 +166,10 @@ class MappingExecutor:
             index: dict = {}
             if other_attr is not None and other_attr in table.schema:
                 position = table.schema.position(other_attr)
-                for values in table.tuples():
+                for other_index, values in enumerate(table.tuples()):
                     key = _join_key(values[position])
                     if key is not None:
-                        index.setdefault(key, values)
+                        index.setdefault(key, (other_index, values))
             indexes[other] = index
 
         assignments_by_source: dict[str, list] = {}
@@ -120,28 +181,31 @@ class MappingExecutor:
             for assignment in assignments_by_source.get(driving_name, ()):
                 if assignment.source_attribute in driving.schema:
                     row[assignment.target_attribute] = driving_values[
-                        driving.schema.position(assignment.source_attribute)]
-            matched_all = True
+                        driving.schema.position(assignment.source_attribute)
+                    ]
+            row_id = f"{driving_name}:{row_index}"
+            refs = [store.ref(driving_name, row_id)] if store is not None else []
             for other in others:
                 driving_attr, other_attr = join_keys.get(other, (None, None))
                 other_table = self._get(other)
-                other_values = None
+                matched = None
                 if driving_attr is not None and driving_attr in driving.schema:
                     key = _join_key(driving_values[driving.schema.position(driving_attr)])
                     if key is not None:
-                        other_values = indexes[other].get(key)
-                if other_values is None:
-                    matched_all = False
-                else:
+                        matched = indexes[other].get(key)
+                if matched is not None:
+                    other_index, other_values = matched
+                    if store is not None:
+                        refs.append(store.ref(other, f"{other}:{other_index}"))
                     for assignment in assignments_by_source.get(other, ()):
                         if assignment.source_attribute in other_table.schema:
                             row[assignment.target_attribute] = other_values[
-                                other_table.schema.position(assignment.source_attribute)]
+                                other_table.schema.position(assignment.source_attribute)
+                            ]
             # Left-outer semantics: keep the driving row even when a joined
             # source has no partner, leaving its attributes NULL.
-            del matched_all
             output = [row.get(attribute) for attribute in target_schema.attribute_names]
-            yield (*output, driving_name, f"{driving_name}:{row_index}")
+            yield (*output, driving_name, row_id), tuple(refs), mapping
 
     def _get(self, name: str) -> Table:
         try:

@@ -55,8 +55,14 @@ class MappingGenerator:
         """The generator configuration."""
         return self._config
 
-    def generate(self, matches: MatchSet, target_schema: Schema, catalog: Catalog, *,
-                 sources: Sequence[str] | None = None) -> list[SchemaMapping]:
+    def generate(
+        self,
+        matches: MatchSet,
+        target_schema: Schema,
+        catalog: Catalog,
+        *,
+        sources: Sequence[str] | None = None,
+    ) -> list[SchemaMapping]:
         """All candidate mappings for ``target_schema`` given ``matches``."""
         config = self._config
         usable = matches.above(config.match_threshold).for_target(target_schema.name)
@@ -67,37 +73,49 @@ class MappingGenerator:
         joins = self._join_mappings(usable, target_schema, catalog, direct)
         unions = self._union_mappings(target_schema, direct, joins)
         candidates = [*direct, *joins, *unions]
-        return candidates[:config.max_candidates]
+        return candidates[: config.max_candidates]
 
     # -- direct ------------------------------------------------------------------
 
-    def _direct_mappings(self, matches: MatchSet, target_schema: Schema,
-                         source_names: Sequence[str]) -> list[SchemaMapping]:
+    def _direct_mappings(
+        self, matches: MatchSet, target_schema: Schema, source_names: Sequence[str]
+    ) -> list[SchemaMapping]:
         mappings = []
         for index, source_name in enumerate(sorted(source_names), start=1):
             best = matches.best_per_target_attribute(source_name, target_schema.name)
             if not best:
                 continue
-            assignments = tuple(sorted(
-                AttributeAssignment(target_attribute=attr,
-                                    source_relation=source_name,
-                                    source_attribute=correspondence.source_attribute,
-                                    score=correspondence.score)
-                for attr, correspondence in best.items()))
-            mappings.append(SchemaMapping(
-                mapping_id=f"m_direct_{source_name}",
-                target_relation=target_schema.name,
-                kind="direct",
-                sources=(source_name,),
-                assignments=assignments,
-            ))
+            assignments = tuple(
+                sorted(
+                    AttributeAssignment(
+                        target_attribute=attr,
+                        source_relation=source_name,
+                        source_attribute=correspondence.source_attribute,
+                        score=correspondence.score,
+                    )
+                    for attr, correspondence in best.items()
+                )
+            )
+            mappings.append(
+                SchemaMapping(
+                    mapping_id=f"m_direct_{source_name}",
+                    target_relation=target_schema.name,
+                    kind="direct",
+                    sources=(source_name,),
+                    assignments=assignments,
+                )
+            )
         return mappings
 
     # -- joins ------------------------------------------------------------------------
 
-    def _join_mappings(self, matches: MatchSet, target_schema: Schema, catalog: Catalog,
-                       direct: list[SchemaMapping]) -> list[SchemaMapping]:
-        config = self._config
+    def _join_mappings(
+        self,
+        matches: MatchSet,
+        target_schema: Schema,
+        catalog: Catalog,
+        direct: list[SchemaMapping],
+    ) -> list[SchemaMapping]:
         joins = []
         by_source = {mapping.sources[0]: mapping for mapping in direct}
         for left_name, right_name in combinations(sorted(by_source), 2):
@@ -123,19 +141,25 @@ class MappingGenerator:
                 assignments[assignment.target_attribute] = assignment
             for assignment in other.assignments:
                 assignments.setdefault(assignment.target_attribute, assignment)
-            joins.append(SchemaMapping(
-                mapping_id=f"m_join_{driving.sources[0]}_{other.sources[0]}",
-                target_relation=target_schema.name,
-                kind="join",
-                sources=(driving.sources[0], other.sources[0]),
-                assignments=tuple(sorted(assignments.values())),
-                join_conditions=(JoinCondition(driving.sources[0], driving_attr,
-                                               other.sources[0], other_attr),),
-            ))
+            joins.append(
+                SchemaMapping(
+                    mapping_id=f"m_join_{driving.sources[0]}_{other.sources[0]}",
+                    target_relation=target_schema.name,
+                    kind="join",
+                    sources=(driving.sources[0], other.sources[0]),
+                    assignments=tuple(sorted(assignments.values())),
+                    join_conditions=(
+                        JoinCondition(
+                            driving.sources[0], driving_attr, other.sources[0], other_attr
+                        ),
+                    ),
+                )
+            )
         return joins
 
-    def _find_join_key(self, left: SchemaMapping, right: SchemaMapping,
-                       catalog: Catalog) -> tuple[str, str] | None:
+    def _find_join_key(
+        self, left: SchemaMapping, right: SchemaMapping, catalog: Catalog
+    ) -> tuple[str, str] | None:
         """The best join-key pair between two direct mappings' sources.
 
         Candidate keys are pairs of source attributes matched to the *same*
@@ -152,33 +176,45 @@ class MappingGenerator:
             right_assignment = right.assignment_for(target_attribute)
             if left_assignment is None or right_assignment is None:
                 continue
-            if (left_assignment.source_attribute not in left_table.schema
-                    or right_assignment.source_attribute not in right_table.schema):
+            if (
+                left_assignment.source_attribute not in left_table.schema
+                or right_assignment.source_attribute not in right_table.schema
+            ):
                 continue
-            overlap = value_overlap(left_table, left_assignment.source_attribute,
-                                    right_table, right_assignment.source_attribute)
+            overlap = value_overlap(
+                left_table,
+                left_assignment.source_attribute,
+                right_table,
+                right_assignment.source_attribute,
+            )
             if overlap < config.join_overlap_threshold:
                 continue
             if best is None or overlap > best[0]:
-                best = (overlap, left_assignment.source_attribute,
-                        right_assignment.source_attribute)
+                best = (
+                    overlap,
+                    left_assignment.source_attribute,
+                    right_assignment.source_attribute,
+                )
         if best is None:
             return None
         return best[1], best[2]
 
     # -- unions --------------------------------------------------------------------------
 
-    def _union_mappings(self, target_schema: Schema, direct: list[SchemaMapping],
-                        joins: list[SchemaMapping]) -> list[SchemaMapping]:
+    def _union_mappings(
+        self, target_schema: Schema, direct: list[SchemaMapping], joins: list[SchemaMapping]
+    ) -> list[SchemaMapping]:
         unions = []
         # Union of all direct mappings covering more than one source.
         if len(direct) >= 2:
-            unions.append(SchemaMapping(
-                mapping_id="m_union_direct",
-                target_relation=target_schema.name,
-                kind="union",
-                children=tuple(direct),
-            ))
+            unions.append(
+                SchemaMapping(
+                    mapping_id="m_union_direct",
+                    target_relation=target_schema.name,
+                    kind="union",
+                    children=tuple(direct),
+                )
+            )
         # Union of join mappings that share the same joined-in source (e.g.
         # Rightmove⋈Deprivation ∪ Onthemarket⋈Deprivation).
         if len(joins) >= 2:
@@ -188,12 +224,14 @@ class MappingGenerator:
                 by_other.setdefault(other, []).append(mapping)
             for other, group in sorted(by_other.items()):
                 if len(group) >= 2:
-                    unions.append(SchemaMapping(
-                        mapping_id=f"m_union_join_{other}",
-                        target_relation=target_schema.name,
-                        kind="union",
-                        children=tuple(group),
-                    ))
+                    unions.append(
+                        SchemaMapping(
+                            mapping_id=f"m_union_join_{other}",
+                            target_relation=target_schema.name,
+                            kind="union",
+                            children=tuple(group),
+                        )
+                    )
         # Mixed unions: every direct mapping unioned with every join that
         # does not already include its source — captures "one source has the
         # extra attribute, the other does not".
@@ -201,11 +239,15 @@ class MappingGenerator:
             for join_mapping in joins:
                 if direct_mapping.sources[0] in join_mapping.all_sources():
                     continue
-                unions.append(SchemaMapping(
-                    mapping_id=f"m_union_{direct_mapping.sources[0]}_"
-                               f"{join_mapping.mapping_id.removeprefix('m_join_')}",
-                    target_relation=target_schema.name,
-                    kind="union",
-                    children=(direct_mapping, join_mapping),
-                ))
+                unions.append(
+                    SchemaMapping(
+                        mapping_id=(
+                            f"m_union_{direct_mapping.sources[0]}_"
+                            f"{join_mapping.mapping_id.removeprefix('m_join_')}"
+                        ),
+                        target_relation=target_schema.name,
+                        kind="union",
+                        children=(direct_mapping, join_mapping),
+                    )
+                )
         return unions

@@ -19,11 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.relational.table import ROW_KEY_ATTRIBUTE
+
 __all__ = ["AttributeAssignment", "JoinCondition", "SchemaMapping"]
 
-#: Bookkeeping columns added by mapping execution.
+#: Bookkeeping columns added by mapping execution. The row-id column doubles
+#: as the pipeline-wide stable row identity (see ``ROW_KEY_ATTRIBUTE``).
 PROVENANCE_SOURCE = "_source"
-PROVENANCE_ROW_ID = "_row_id"
+PROVENANCE_ROW_ID = ROW_KEY_ATTRIBUTE
 
 
 @dataclass(frozen=True, order=True)
@@ -37,8 +40,10 @@ class AttributeAssignment:
     score: float = 1.0
 
     def __str__(self) -> str:
-        return (f"{self.target_attribute} <- "
-                f"{self.source_relation}.{self.source_attribute} ({self.score:.2f})")
+        return (
+            f"{self.target_attribute} <- "
+            f"{self.source_relation}.{self.source_attribute} ({self.score:.2f})"
+        )
 
 
 @dataclass(frozen=True, order=True)
@@ -51,8 +56,10 @@ class JoinCondition:
     right_attribute: str
 
     def __str__(self) -> str:
-        return (f"{self.left_relation}.{self.left_attribute} = "
-                f"{self.right_relation}.{self.right_attribute}")
+        return (
+            f"{self.left_relation}.{self.left_attribute} = "
+            f"{self.right_relation}.{self.right_attribute}"
+        )
 
 
 @dataclass(frozen=True)
@@ -172,7 +179,9 @@ class SchemaMapping:
             return f"{self.mapping_id}: union({parts})"
         sources = ", ".join(self.sources)
         coverage = ", ".join(sorted(self.covered_attributes()))
-        joins = f" on {'; '.join(str(c) for c in self.join_conditions)}" if self.join_conditions else ""
+        joins = ""
+        if self.join_conditions:
+            joins = f" on {'; '.join(str(c) for c in self.join_conditions)}"
         return f"{self.mapping_id}: {self.kind}({sources}){joins} -> [{coverage}]"
 
     def __str__(self) -> str:

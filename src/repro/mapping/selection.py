@@ -7,6 +7,11 @@ the criterion scores using the weights derived from the user context (AHP)
 — "the pairwise comparisons are used to derive weights that inform the
 selection of mappings based on multi-dimensional optimization" (§3 step 4).
 Without a user context, criteria are weighted uniformly.
+
+Scoring additionally applies a cross-candidate *coverage prior* (how much of
+the target schema, and how many rows relative to the best candidate, a
+mapping produces) and decrements the confidence of mappings implicated by
+lineage-targeted feedback (see :mod:`repro.provenance.feedback`).
 """
 
 from __future__ import annotations
@@ -44,21 +49,30 @@ class MappingScore:
         total_weight = sum(weights.get(name, 0.0) for name in self.criteria)
         if total_weight <= 0:
             return sum(self.criteria.values()) / len(self.criteria)
-        return sum(value * weights.get(name, 0.0)
-                   for name, value in self.criteria.items()) / total_weight
+        return (
+            sum(value * weights.get(name, 0.0) for name, value in self.criteria.items())
+            / total_weight
+        )
 
 
 class MappingScorer:
     """Materialises candidate mappings and scores them on the quality criteria."""
 
-    def __init__(self, catalog: Catalog, target_schema: Schema, *,
-                 reference: Table | None = None,
-                 reference_key: Sequence[str] = (),
-                 master: Table | None = None,
-                 master_key: Sequence[str] = (),
-                 learned_cfds: LearnedCFDs | None = None,
-                 feedback_penalties: Mapping[tuple[str, str], float] | None = None,
-                 completeness_weights: Mapping[str, float] | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        target_schema: Schema,
+        *,
+        reference: Table | None = None,
+        reference_key: Sequence[str] = (),
+        master: Table | None = None,
+        master_key: Sequence[str] = (),
+        learned_cfds: LearnedCFDs | None = None,
+        feedback_penalties: Mapping[tuple[str, str], float] | None = None,
+        mapping_penalties: Mapping[str, Mapping[str, float]] | None = None,
+        completeness_weights: Mapping[str, float] | None = None,
+        coverage_prior: bool = True,
+    ):
         self._executor = MappingExecutor(catalog)
         self._target_schema = target_schema
         self._reference = reference
@@ -67,12 +81,15 @@ class MappingScorer:
         self._master_key = list(master_key)
         self._learned_cfds = learned_cfds
         self._feedback_penalties = dict(feedback_penalties or {})
+        self._mapping_penalties = dict(mapping_penalties or {})
         self._completeness_weights = dict(completeness_weights or {})
+        self._coverage_prior = coverage_prior
 
     def score(self, mapping: SchemaMapping) -> MappingScore:
         """Score one candidate mapping."""
-        table = self._executor.execute(mapping, self._target_schema,
-                                       result_name=f"__candidate_{mapping.mapping_id}")
+        table = self._executor.execute(
+            mapping, self._target_schema, result_name=f"__candidate_{mapping.mapping_id}"
+        )
         cfds = self._learned_cfds.cfds if self._learned_cfds else []
         witnesses = self._learned_cfds.witnesses if self._learned_cfds else {}
         report = evaluate_quality(
@@ -86,8 +103,8 @@ class MappingScorer:
             completeness_weights=self._completeness_weights or None,
         )
         criteria = report.as_dict()
-        criteria["accuracy"] = self._apply_feedback_penalty(
-            mapping, criteria["accuracy"], len(table))
+        accuracy = self._apply_feedback_penalty(mapping, criteria["accuracy"], len(table))
+        criteria["accuracy"] = self._apply_mapping_penalty(mapping, accuracy, len(table))
         return MappingScore(
             mapping_id=mapping.mapping_id,
             criteria=criteria,
@@ -96,11 +113,38 @@ class MappingScorer:
         )
 
     def score_all(self, mappings: Sequence[SchemaMapping]) -> dict[str, MappingScore]:
-        """Score every candidate."""
-        return {mapping.mapping_id: self.score(mapping) for mapping in mappings}
+        """Score every candidate, adding the cross-candidate coverage prior.
 
-    def _apply_feedback_penalty(self, mapping: SchemaMapping, accuracy: float,
-                                row_count: int) -> float:
+        The ``coverage`` criterion blends how much of the target schema a
+        mapping populates with how many rows it produces relative to the
+        best candidate. It is what keeps bootstrap (when accuracy and
+        relevance are still uninformative 0.5s) from picking a low-coverage
+        join mapping whose handful of fully-populated rows win on
+        completeness alone — the paper's pay-as-you-go story needs the
+        *broad* result first, refined once data context and feedback arrive.
+        """
+        scores = {mapping.mapping_id: self.score(mapping) for mapping in mappings}
+        if not self._coverage_prior or not scores:
+            return scores
+        target_attributes = [
+            name for name in self._target_schema.attribute_names if not name.startswith("_")
+        ]
+        max_rows = max((score.row_count for score in scores.values()), default=0)
+        for mapping in mappings:
+            score = scores[mapping.mapping_id]
+            if target_attributes:
+                attribute_share = len(
+                    mapping.covered_attributes() & set(target_attributes)
+                ) / len(target_attributes)
+            else:
+                attribute_share = 0.0
+            row_share = (score.row_count / max_rows) if max_rows > 0 else 0.0
+            score.criteria["coverage"] = round((attribute_share + row_share) / 2, 6)
+        return scores
+
+    def _apply_feedback_penalty(
+        self, mapping: SchemaMapping, accuracy: float, row_count: int
+    ) -> float:
         """Blend reference-based accuracy with feedback-observed error rates.
 
         ``feedback_penalties`` maps ``(source_relation, target_attribute)`` to
@@ -127,6 +171,27 @@ class MappingScorer:
         observed_accuracy = 1.0 - sum(rates) / len(rates)
         weight = min(1.0, annotations / max(1.0, float(row_count)))
         return (1.0 - weight) * accuracy + weight * observed_accuracy
+
+    def _apply_mapping_penalty(
+        self, mapping: SchemaMapping, accuracy: float, row_count: int
+    ) -> float:
+        """Decrement the confidence of mappings implicated by lineage.
+
+        ``mapping_penalties`` (the ``lineage_penalties`` artifact) maps
+        mapping ids to feedback tallies attributed through why-provenance.
+        Only implicated mappings are touched — the selective part of
+        lineage-targeted feedback — and the observed error rate is weighted
+        by annotation coverage exactly like the assignment-level blend.
+        """
+        entry = self._mapping_penalties.get(mapping.mapping_id)
+        if not entry:
+            return accuracy
+        error_rate = float(entry.get("error_rate", 0.0))
+        if error_rate <= 0.0:
+            return accuracy
+        annotations = float(entry.get("incorrect", 0.0)) + float(entry.get("correct", 0.0))
+        weight = min(1.0, annotations / max(1.0, float(row_count)))
+        return accuracy * (1.0 - 0.5 * error_rate * weight)
 
 
 @dataclass
@@ -156,8 +221,9 @@ class MappingSelector:
     def __init__(self, *, tie_break_by_confidence: bool = True):
         self._tie_break_by_confidence = tie_break_by_confidence
 
-    def select(self, scores: Mapping[str, MappingScore],
-               weights: Mapping[str, float] | None = None) -> SelectionOutcome:
+    def select(
+        self, scores: Mapping[str, MappingScore], weights: Mapping[str, float] | None = None
+    ) -> SelectionOutcome:
         """Rank mappings; the first entry of the ranking is the selected one."""
         if not scores:
             raise ValueError("cannot select from an empty candidate set")
@@ -167,9 +233,11 @@ class MappingSelector:
 
         def sort_key(item: tuple[str, float]):
             mapping_id, value = item
-            confidence = scores[mapping_id].match_confidence if self._tie_break_by_confidence else 0.0
+            if self._tie_break_by_confidence:
+                confidence = scores[mapping_id].match_confidence
+            else:
+                confidence = 0.0
             return (-round(value, 9), -round(confidence, 9), mapping_id)
 
         ranking = sorted(weighted, key=sort_key)
-        return SelectionOutcome(ranking=ranking, scores=dict(scores),
-                                weights=dict(weights or {}))
+        return SelectionOutcome(ranking=ranking, scores=dict(scores), weights=dict(weights or {}))

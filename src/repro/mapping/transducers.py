@@ -24,6 +24,8 @@ from repro.mapping.execution import MappingExecutor
 from repro.mapping.generation import MappingGenerator, MappingGeneratorConfig
 from repro.mapping.model import SchemaMapping
 from repro.mapping.selection import MappingScorer, MappingSelector
+from repro.provenance.feedback import LINEAGE_PENALTIES_ARTIFACT_KEY
+from repro.provenance.model import provenance_store
 from repro.quality.transducers import CFD_ARTIFACT_KEY
 
 __all__ = [
@@ -69,16 +71,20 @@ class MappingGenerationTransducer(Transducer):
         for target_relation in kb.target_relations():
             matches = MatchSet.from_kb(kb, target_relation=target_relation)
             target_schema = kb.schema_of(target_relation)
-            generated = self._generator.generate(matches, target_schema, kb.catalog,
-                                                 sources=kb.source_relations())
+            generated = self._generator.generate(
+                matches, target_schema, kb.catalog, sources=kb.source_relations()
+            )
             for mapping in generated:
                 candidates[mapping.mapping_id] = mapping
         # Replace the previous candidate set: mappings are derived facts.
         kb.retract_where(Predicates.MAPPING)
         kb.store_artifact(MAPPINGS_ARTIFACT_KEY, candidates)
         for mapping in candidates.values():
-            added += int(kb.assert_tuple(mapping_fact(
-                mapping.mapping_id, mapping.target_relation, mapping.kind)))
+            added += int(
+                kb.assert_tuple(
+                    mapping_fact(mapping.mapping_id, mapping.target_relation, mapping.kind)
+                )
+            )
         return TransducerResult(
             facts_added=added,
             notes=f"generated {len(candidates)} candidate mappings",
@@ -114,23 +120,24 @@ class MappingQualityTransducer(Transducer):
             target_schema = kb.schema_of(target_relation)
             scorer = self._build_scorer(kb, target_relation, target_schema)
             relevant = [m for m in candidates.values() if m.target_relation == target_relation]
-            for mapping in relevant:
-                score = scorer.score(mapping)
+            for mapping_id, score in scorer.score_all(relevant).items():
                 scored += 1
                 for criterion, value in score.criteria.items():
-                    added += int(kb.assert_tuple(
-                        mapping_score_fact(mapping.mapping_id, criterion, value)))
-                added += int(kb.assert_tuple(
-                    mapping_score_fact(mapping.mapping_id, "match_confidence",
-                                       score.match_confidence)))
+                    added += int(kb.assert_tuple(mapping_score_fact(mapping_id, criterion, value)))
+                added += int(
+                    kb.assert_tuple(
+                        mapping_score_fact(mapping_id, "match_confidence", score.match_confidence)
+                    )
+                )
         return TransducerResult(
             facts_added=added,
             notes=f"scored {scored} candidate mappings",
         )
 
-    def _build_scorer(self, kb: KnowledgeBase, target_relation: str, target_schema) -> MappingScorer:
-        reference, reference_key = _context_table(kb, Predicates.CONTEXT_REFERENCE,
-                                                  target_relation)
+    def _build_scorer(
+        self, kb: KnowledgeBase, target_relation: str, target_schema
+    ) -> MappingScorer:
+        reference, reference_key = _context_table(kb, Predicates.CONTEXT_REFERENCE, target_relation)
         master, master_key = _context_table(kb, Predicates.CONTEXT_MASTER, target_relation)
         return MappingScorer(
             kb.catalog,
@@ -141,6 +148,7 @@ class MappingQualityTransducer(Transducer):
             master_key=master_key,
             learned_cfds=kb.get_artifact(CFD_ARTIFACT_KEY),
             feedback_penalties=kb.get_artifact(FEEDBACK_PENALTIES_ARTIFACT_KEY, {}),
+            mapping_penalties=kb.get_artifact(LINEAGE_PENALTIES_ARTIFACT_KEY, {}),
             completeness_weights=_completeness_weights(kb),
         )
 
@@ -169,8 +177,13 @@ class SourceSelectionTransducer(Transducer):
         for source, criteria in per_source.items():
             if weights:
                 total = sum(weights.get(name, 0.0) for name in criteria)
-                score = (sum(value * weights.get(name, 0.0) for name, value in criteria.items())
-                         / total) if total > 0 else 0.0
+                if total > 0:
+                    score = (
+                        sum(value * weights.get(name, 0.0) for name, value in criteria.items())
+                        / total
+                    )
+                else:
+                    score = 0.0
             else:
                 score = sum(criteria.values()) / len(criteria)
             ranking.append((source, score))
@@ -209,8 +222,8 @@ class MappingSelectionTransducer(Transducer):
             if criterion == "match_confidence":
                 confidences[mapping_id] = float(value)
                 continue
-            scores.setdefault(mapping_id, MappingScore(mapping_id, {})).criteria[criterion] = (
-                float(value))
+            entry = scores.setdefault(mapping_id, MappingScore(mapping_id, {}))
+            entry.criteria[criterion] = float(value)
         for mapping_id, confidence in confidences.items():
             if mapping_id in scores:
                 scores[mapping_id].match_confidence = confidence
@@ -223,8 +236,10 @@ class MappingSelectionTransducer(Transducer):
             added += int(kb.assert_tuple(mapping_selected_fact(mapping_id, rank)))
         return TransducerResult(
             facts_added=added,
-            notes=f"selected {outcome.best_mapping_id} "
-                  f"(score {outcome.best_score:.3f}, weights={'user' if weights else 'uniform'})",
+            notes=(
+                f"selected {outcome.best_mapping_id} "
+                f"(score {outcome.best_score:.3f}, weights={'user' if weights else 'uniform'})"
+            ),
             details={"ranking": outcome.ranking, "weights": weights},
         )
 
@@ -248,7 +263,7 @@ class ResultMaterialisationTransducer(Transducer):
             return TransducerResult(notes="no selected mapping to materialise")
         mapping = candidates[selected_id]
         target_schema = kb.schema_of(mapping.target_relation)
-        executor = MappingExecutor(kb.catalog)
+        executor = MappingExecutor(kb.catalog, provenance=provenance_store(kb))
         result_name = result_relation_name(mapping.target_relation)
         table = executor.execute(mapping, target_schema, result_name=result_name)
         if kb.has_table(result_name):

@@ -1,0 +1,42 @@
+"""End-to-end provenance: lineage annotations, explanations and feedback.
+
+The provenance subsystem threads why-provenance through the wrangling
+pipeline: mapping execution records which source rows produced each result
+tuple, fusion merges the lineage of collapsed duplicates, repair and
+feedback edits annotate the cells they rewrite. On top of the recorded
+lineage sit the explanation API (:func:`~repro.provenance.explain.explain`)
+and lineage-targeted feedback propagation
+(:class:`~repro.provenance.feedback.LineageFeedbackPropagator`).
+"""
+
+from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.feedback import (
+    LINEAGE_PENALTIES_ARTIFACT_KEY,
+    LineageEvidence,
+    LineageFeedbackPropagator,
+    LineagePropagation,
+)
+from repro.provenance.model import (
+    PROVENANCE_ARTIFACT_KEY,
+    CellLineage,
+    ProvenanceStore,
+    SourceRef,
+    TupleLineage,
+    provenance_store,
+)
+
+__all__ = [
+    "PROVENANCE_ARTIFACT_KEY",
+    "LINEAGE_PENALTIES_ARTIFACT_KEY",
+    "CellLineage",
+    "LineageEvidence",
+    "LineageFeedbackPropagator",
+    "LineagePropagation",
+    "LineageTree",
+    "ProvenanceStore",
+    "SourceRef",
+    "TupleLineage",
+    "explain",
+    "provenance_store",
+    "render_lineage",
+]

@@ -1,0 +1,225 @@
+"""Turning lineage annotations into explanations a user can read.
+
+``explain(table, row, column)`` resolves the recorded lineage of one result
+cell (or whole tuple) into a :class:`LineageTree`: the annotated value at
+the root, one branch per why-provenance witness, and the contributing
+source *rows* (fetched from the catalog) at the leaves. ``render_lineage``
+produces the human-readable form the wrangler surfaces — the textual answer
+to "why does this cell say 36?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.provenance.model import ProvenanceStore, SourceRef, TupleLineage
+from repro.relational.table import Table
+
+__all__ = ["LineageTree", "explain", "render_lineage"]
+
+
+@dataclass
+class LineageTree:
+    """One node of an explanation tree.
+
+    ``kind`` is ``cell`` or ``tuple`` at the root, ``witness`` for each
+    why-provenance witness, and ``source`` at the leaves (one per
+    contributing base tuple, with its values when the catalog can supply
+    them). ``events`` lists the operator applications that shaped the value
+    (mapping, fusion, repair, feedback), oldest first.
+    """
+
+    kind: str
+    label: str
+    relation: str | None = None
+    row_key: str | None = None
+    attribute: str | None = None
+    value: Any = None
+    operator: str | None = None
+    mapping_id: str | None = None
+    detail: str | None = None
+    source_row: dict[str, Any] | None = None
+    events: list[str] = field(default_factory=list)
+    children: list["LineageTree"] = field(default_factory=list)
+
+    def source_refs(self) -> list[SourceRef]:
+        """Every contributing base tuple in the tree (deterministic order)."""
+        refs: list[SourceRef] = []
+        for node in self.walk():
+            if node.kind == "source" and node.relation is not None:
+                refs.append(SourceRef(node.relation, node.row_key or ""))
+        return refs
+
+    def source_relations(self) -> set[str]:
+        """Relations of every contributing base tuple."""
+        return {ref.relation for ref in self.source_refs()}
+
+    def walk(self):
+        """Depth-first iteration over the tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def explain(
+    table: Table,
+    row: int | str,
+    column: str | None = None,
+    *,
+    store: ProvenanceStore,
+    catalog=None,
+) -> LineageTree:
+    """Explain one result cell (or tuple when ``column`` is None).
+
+    ``row`` is a row index into ``table`` or a row key (the ``_row_id``
+    value shown to the user). The returned tree's leaves carry the
+    contributing source rows, looked up in ``catalog`` when one is given.
+    Raises ``KeyError`` when the row is unknown, and ``LookupError`` when no
+    lineage was recorded for it (e.g. tracking was disabled).
+    """
+    row_key, values = _locate_row(table, row)
+    lineage = store.tuple_lineage(table.name, row_key)
+    if lineage is None:
+        dropped = store.dropped(table.name).get(row_key)
+        if dropped is not None:
+            raise LookupError(f"row {row_key!r} of {table.name!r} was removed ({dropped})")
+        raise LookupError(
+            f"no lineage recorded for row {row_key!r} of {table.name!r} "
+            f"(was provenance tracking enabled?)"
+        )
+
+    if column is None:
+        root = LineageTree(
+            kind="tuple",
+            label=f"{table.name}[{row_key}]",
+            relation=table.name,
+            row_key=row_key,
+            operator=lineage.operator,
+            mapping_id=lineage.mapping_id,
+        )
+        witnesses = lineage.witnesses
+        events = _tuple_events(lineage)
+    else:
+        if column not in table.schema:
+            raise KeyError(f"unknown attribute {column!r} in {table.name!r}")
+        cell = lineage.cell(column)
+        root = LineageTree(
+            kind="cell",
+            label=f"{table.name}[{row_key}].{column}",
+            relation=table.name,
+            row_key=row_key,
+            attribute=column,
+            value=values.get(column),
+            operator=cell.operator,
+            mapping_id=lineage.mapping_id,
+            detail=cell.detail,
+        )
+        witnesses = cell.witnesses
+        events = _cell_events(lineage, column)
+    root.events = events
+    for witness in sorted(witnesses, key=_witness_sort_key):
+        witness_node = LineageTree(
+            kind="witness",
+            label=" + ".join(str(ref) for ref in sorted(witness)) or "(constant)",
+        )
+        for ref in sorted(witness):
+            witness_node.children.append(_source_leaf(ref, catalog))
+        root.children.append(witness_node)
+    return root
+
+
+def render_lineage(tree: LineageTree, *, indent: str = "") -> str:
+    """A human-readable, multi-line rendering of an explanation tree."""
+    lines = [f"{indent}{_describe_node(tree)}"]
+    for event in tree.events:
+        lines.append(f"{indent}  * {event}")
+    for index, child in enumerate(tree.children):
+        last = index == len(tree.children) - 1
+        connector = "`-" if last else "|-"
+        child_indent = indent + ("   " if last else "|  ")
+        child_lines = render_lineage(child, indent=child_indent).splitlines()
+        first = child_lines[0].removeprefix(child_indent)
+        lines.append(f"{indent}{connector} {first}")
+        lines.extend(child_lines[1:])
+    return "\n".join(lines)
+
+
+# -- internals ----------------------------------------------------------------
+
+
+def _witness_sort_key(witness) -> tuple:
+    return tuple(sorted(witness))
+
+
+def _locate_row(table: Table, row: int | str) -> tuple[str, dict[str, Any]]:
+    keys = table.row_keys()
+    if isinstance(row, int):
+        if not -len(table) <= row < len(table):
+            raise KeyError(f"row index {row} out of range for {table.name!r}")
+        return keys[row], table[row].to_dict()
+    row_key = str(row)
+    for index, key in enumerate(keys):
+        if key == row_key:
+            return row_key, table[index].to_dict()
+    raise KeyError(f"no row with key {row_key!r} in {table.name!r}")
+
+
+def _tuple_events(lineage: TupleLineage) -> list[str]:
+    events = []
+    if lineage.mapping_id is not None:
+        events.append(f"materialised by mapping {lineage.mapping_id}")
+    if lineage.operator != "mapping":
+        events.append(f"last derived by {lineage.operator}")
+    return events
+
+
+def _cell_events(lineage: TupleLineage, attribute: str) -> list[str]:
+    events = []
+    if lineage.mapping_id is not None:
+        source = (lineage.cell_sources or {}).get(attribute)
+        if source is not None:
+            events.append(f"assigned from {source} by mapping {lineage.mapping_id}")
+        else:
+            events.append(f"not assigned by mapping {lineage.mapping_id} (constant NULL)")
+    override = lineage.cells.get(attribute)
+    if override is not None:
+        detail = f" ({override.detail})" if override.detail else ""
+        events.append(f"rewritten by {override.operator}{detail}")
+    return events
+
+
+def _source_leaf(ref: SourceRef, catalog) -> LineageTree:
+    source_row = None
+    if catalog is not None and ref.relation in catalog:
+        index = ref.row_index
+        source_table = catalog.get(ref.relation)
+        if index is not None and 0 <= index < len(source_table):
+            source_row = source_table[index].to_dict()
+    return LineageTree(
+        kind="source",
+        label=str(ref),
+        relation=ref.relation,
+        row_key=ref.row_id,
+        source_row=source_row,
+    )
+
+
+def _describe_node(tree: LineageTree) -> str:
+    if tree.kind in ("cell", "tuple"):
+        head = tree.label
+        if tree.kind == "cell":
+            head += f" = {tree.value!r}"
+        parts = []
+        if tree.operator:
+            parts.append(f"operator={tree.operator}")
+        if tree.detail:
+            parts.append(f"detail={tree.detail}")
+        suffix = f"  [{', '.join(parts)}]" if parts else ""
+        return f"{head}{suffix}"
+    if tree.kind == "witness":
+        return f"witness: {tree.label}"
+    if tree.source_row is not None:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in tree.source_row.items())
+        return f"{tree.label} {{{rendered}}}"
+    return tree.label

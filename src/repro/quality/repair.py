@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
+from repro.provenance.model import OPERATOR_REPAIR, ProvenanceStore
 from repro.quality.cfd import CFD
 from repro.relational.table import Table
 from repro.relational.types import is_null
@@ -70,11 +71,15 @@ class CFDRepairer:
         self._min_confidence = min_confidence
 
     def repair(self, table: Table, cfds: Iterable[CFD], *,
-               witnesses: Mapping[str, Mapping[tuple, Any]] | None = None) -> RepairResult:
+               witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
+               provenance: ProvenanceStore | None = None) -> RepairResult:
         """Return a repaired copy of ``table`` and the actions performed.
 
         CFDs are applied in decreasing confidence order; once a cell has been
-        repaired by one CFD it is not touched again by a weaker one.
+        repaired by one CFD it is not touched again by a weaker one. With a
+        provenance store each repaired cell records a lineage override: the
+        current value no longer comes from the mapped source row but from
+        the CFD (and its witness reference data) that rewrote it.
         """
         witnesses = witnesses or {}
         ordered = sorted(
@@ -124,6 +129,13 @@ class CFDRepairer:
                     kind=kind,
                 ))
         repaired = table.replace_rows([tuple(values) for values in rows])
+        if provenance is not None and provenance.enabled and actions:
+            row_keys = table.row_keys()
+            for action in actions:
+                provenance.record_cell(
+                    table.name, row_keys[action.row_index], action.attribute,
+                    operator=OPERATOR_REPAIR, witnesses=(),
+                    detail=f"{action.cfd_id}:{action.kind}")
         return RepairResult(table=repaired, actions=actions)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.facts import Predicates, cfd_fact, metric_fact, repair_fact
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.provenance.model import provenance_store
 from repro.quality.cfd_learning import CFDLearner, CFDLearnerConfig, LearnedCFDs
 from repro.quality.metrics import evaluate_quality
 from repro.quality.repair import CFDRepairer
@@ -168,11 +169,13 @@ class DataRepairTransducer(Transducer):
         added = 0
         repaired_tables = []
         total_actions = 0
+        store = provenance_store(kb)
         for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
-            result = self._repairer.repair(table, learned.cfds, witnesses=learned.witnesses)
+            result = self._repairer.repair(table, learned.cfds, witnesses=learned.witnesses,
+                                           provenance=store)
             if not result.actions:
                 continue
             kb.update_table(result.table)

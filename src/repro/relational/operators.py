@@ -182,18 +182,52 @@ def _build_hash_index(table: Table, key_names: Sequence[str]) -> dict[tuple, lis
 # -- set operators ----------------------------------------------------------------
 
 
-def union_all(left: Table, right: Table, *, relation_name: str | None = None) -> Table:
-    """Bag union: all rows of both inputs (schemas must be union compatible)."""
+def union_all(
+    left: Table, right: Table, *, relation_name: str | None = None, provenance=None
+) -> Table:
+    """Bag union: all rows of both inputs (schemas must be union compatible).
+
+    With a :class:`~repro.provenance.model.ProvenanceStore` the output rows'
+    lineage is recorded under the output relation: each row is witnessed by
+    the input row it came from. Lineage is recorded only when both inputs
+    carry the stable row-identity column (positional keys go stale as soon
+    as a later derivation removes or reorders rows).
+    """
     if not left.schema.compatible_with(right.schema):
-        raise SchemaError(
-            f"cannot union {left.name!r} and {right.name!r}: incompatible schemas")
+        raise SchemaError(f"cannot union {left.name!r} and {right.name!r}: incompatible schemas")
     schema = left.schema if relation_name is None else left.schema.rename(relation_name)
-    return Table(schema, [*left.tuples(), *right.tuples()])
+    result = Table(schema, [*left.tuples(), *right.tuples()])
+    track = (
+        provenance is not None
+        and provenance.enabled
+        and left.has_row_keys()
+        and right.has_row_keys()
+    )
+    if track:
+        keys = result.row_keys()
+        offset = 0
+        for source in (left, right):
+            for index, source_key in enumerate(source.row_keys()):
+                if ":" in source_key:
+                    ref = provenance.ref(source.name, source_key)
+                else:
+                    ref = provenance.ref(source.name, f"{source.name}:{source_key}")
+                provenance.record_tuple(
+                    result.name,
+                    keys[offset + index],
+                    operator="union",
+                    witnesses=(frozenset((ref,)),),
+                )
+            offset += len(source)
+    return result
 
 
-def union(left: Table, right: Table, *, relation_name: str | None = None) -> Table:
+def union(
+    left: Table, right: Table, *, relation_name: str | None = None, provenance=None
+) -> Table:
     """Set union: union_all followed by duplicate elimination."""
-    return distinct(union_all(left, right, relation_name=relation_name))
+    combined = union_all(left, right, relation_name=relation_name, provenance=provenance)
+    return distinct(combined, provenance=provenance)
 
 
 def difference(left: Table, right: Table) -> Table:
@@ -205,25 +239,39 @@ def difference(left: Table, right: Table) -> Table:
     return left.replace_rows([values for values in left.tuples() if values not in right_rows])
 
 
-def distinct(table: Table, names: Sequence[str] | None = None) -> Table:
-    """Remove duplicate rows (optionally considering only ``names``)."""
+def distinct(table: Table, names: Sequence[str] | None = None, *, provenance=None) -> Table:
+    """Remove duplicate rows (optionally considering only ``names``).
+
+    With a :class:`~repro.provenance.model.ProvenanceStore` the collapsed
+    duplicates' lineage is merged into the surviving row — duplicate
+    elimination is a why-provenance union: the kept tuple is witnessed by
+    every occurrence it stands for. Lineage is recorded only when the table
+    carries the stable row-identity column: positional keys would shift as
+    soon as a duplicate is removed, misattributing every later row.
+    """
     if names is None:
-        seen: set[tuple] = set()
-        rows = []
-        for values in table.tuples():
-            if values not in seen:
-                seen.add(values)
-                rows.append(values)
-        return table.replace_rows(rows)
-    positions = [table.schema.position(n) for n in names]
-    seen_keys: set[tuple] = set()
+        positions = list(range(table.schema.arity))
+    else:
+        positions = [table.schema.position(n) for n in names]
+    first_seen: dict[tuple, int] = {}
+    merged: dict[int, list[int]] = {}
     rows = []
-    for values in table.tuples():
+    for index, values in enumerate(table.tuples()):
         key = tuple(values[p] for p in positions)
-        if key not in seen_keys:
-            seen_keys.add(key)
+        kept = first_seen.get(key)
+        if kept is None:
+            first_seen[key] = index
             rows.append(values)
-    return table.replace_rows(rows)
+        else:
+            merged.setdefault(kept, []).append(index)
+    result = table.replace_rows(rows)
+    if provenance is not None and provenance.enabled and merged and table.has_row_keys():
+        keys = table.row_keys()
+        for kept, duplicates in merged.items():
+            provenance.merge_tuples(
+                table.name, keys[kept], [keys[i] for i in duplicates], operator="distinct"
+            )
+    return result
 
 
 # -- ordering -----------------------------------------------------------------------

@@ -18,7 +18,13 @@ from repro.relational.errors import ArityError, SchemaError, UnknownAttributeErr
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import coerce_value, infer_common_type, infer_type, is_null
 
-__all__ = ["Row", "Table"]
+__all__ = ["ROW_KEY_ATTRIBUTE", "Row", "Table"]
+
+#: Name of the bookkeeping column carrying a stable per-row identity
+#: (``source:index``). Mapping execution adds it to every materialised
+#: result; provenance, fusion and feedback all key row-level state on it so
+#: their annotations survive derivations that reorder or drop rows.
+ROW_KEY_ATTRIBUTE = "_row_id"
 
 
 class Row(Mapping[str, Any]):
@@ -201,6 +207,37 @@ class Table:
     def null_count(self, name: str) -> int:
         """Number of NULL values in attribute ``name``."""
         return sum(1 for v in self.column(name) if is_null(v))
+
+    # -- row identity ---------------------------------------------------------
+
+    def has_row_keys(self) -> bool:
+        """Whether the table carries the stable row-identity column."""
+        return ROW_KEY_ATTRIBUTE in self._schema
+
+    def row_key(self, index: int) -> str:
+        """Stable identity of one row.
+
+        The value of the :data:`ROW_KEY_ATTRIBUTE` bookkeeping column when
+        the table carries it (materialised results do), else the positional
+        index rendered as a string (only stable while rows are not
+        reordered or removed).
+        """
+        if ROW_KEY_ATTRIBUTE in self._schema:
+            position = self._schema.position(ROW_KEY_ATTRIBUTE)
+            value = self._rows[index][position]
+            if value is not None:
+                return str(value)
+        if index < 0:
+            index += len(self._rows)
+        return str(index)
+
+    def row_keys(self) -> list[str]:
+        """Stable identities of all rows, in row order (see :meth:`row_key`)."""
+        if ROW_KEY_ATTRIBUTE in self._schema:
+            position = self._schema.position(ROW_KEY_ATTRIBUTE)
+            return [str(values[position]) if values[position] is not None else str(index)
+                    for index, values in enumerate(self._rows)]
+        return [str(index) for index in range(len(self._rows))]
 
     # -- derivation helpers ---------------------------------------------------
 

@@ -4,6 +4,7 @@ from repro.wrangler.batch import (
     BatchConfig,
     BatchReport,
     ScenarioRunResult,
+    iter_run,
     run_batch,
     run_scenario,
     wrangle_scenario,
@@ -20,6 +21,7 @@ __all__ = [
     "BatchConfig",
     "BatchReport",
     "ScenarioRunResult",
+    "iter_run",
     "run_batch",
     "run_scenario",
     "wrangle_scenario",

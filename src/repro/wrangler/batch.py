@@ -48,6 +48,7 @@ __all__ = [
     "BatchConfig",
     "BatchReport",
     "ScenarioRunResult",
+    "iter_run",
     "main",
     "run_batch",
     "run_scenario",
@@ -75,6 +76,10 @@ class BatchConfig:
     feedback_budget: int = 0
     #: Orchestration step budget per scenario.
     max_steps: int = 200
+    #: Whether why-provenance is recorded while wrangling (lineage-aware
+    #: explanations and feedback; see :mod:`repro.provenance`). Off-switch
+    #: for benchmarking the pipeline without tracking overhead.
+    track_provenance: bool = True
 
     def resolve_workers(self, batch_size: int) -> int:
         """The effective worker count for ``batch_size`` scenarios."""
@@ -111,6 +116,11 @@ class ScenarioRunResult:
     worker: int = 0
     #: Error message when the scenario failed (None on success).
     error: str | None = None
+    #: Summary of the lineage recorded for the scenario's result (see
+    #: :meth:`repro.provenance.model.ProvenanceStore.stats`); None when
+    #: tracking was disabled. Picklable, so process-pool workers ship it
+    #: home with the rest of the result.
+    provenance: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -154,6 +164,7 @@ class ScenarioRunResult:
             "seconds": round(self.seconds, 4),
             "worker": self.worker,
             "error": self.error,
+            "provenance": dict(self.provenance) if self.provenance is not None else None,
         }
 
 
@@ -279,7 +290,7 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
     truth = scenario.ground_truth
     key = scenario.evaluation_key
     wrangler = Wrangler(
-        config=WranglerConfig(max_steps=batch.max_steps),
+        config=WranglerConfig(max_steps=batch.max_steps, track_provenance=batch.track_provenance),
         registry=_worker_registry(),
     )
     scenario.install(wrangler)
@@ -305,6 +316,9 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
     quality = dict(result.quality.as_dict()) if result.quality is not None else {}
     if result.quality is not None:
         quality["overall"] = result.quality.overall()
+    provenance_summary = None
+    if batch.track_provenance:
+        provenance_summary = wrangler.provenance.stats(wrangler.result_name())
     return ScenarioRunResult(
         name=scenario.name,
         family=scenario.family,
@@ -320,6 +334,7 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
         fingerprint=table_fingerprint(result.table),
         seconds=time.perf_counter() - started,
         worker=os.getpid(),
+        provenance=provenance_summary,
     )
 
 
@@ -353,21 +368,9 @@ def run_scenario(config: SynthConfig, batch: BatchConfig | None = None) -> Scena
 # -- batch execution ----------------------------------------------------------
 
 
-def run_batch(
-    configs: Iterable[SynthConfig],
-    batch: BatchConfig | None = None,
-    *,
-    workers: int | None = None,
-    executor: str | None = None,
-) -> BatchReport:
-    """Run many scenarios and aggregate their results.
-
-    Results come back in input order whatever the executor, and each
-    per-scenario result is identical to what a sequential run of the same
-    config produces (scenarios are generated from their seeds inside the
-    workers). ``workers``/``executor`` override the corresponding
-    :class:`BatchConfig` fields.
-    """
+def _resolve_batch(
+    batch: BatchConfig | None, workers: int | None, executor: str | None
+) -> BatchConfig:
     batch = batch or BatchConfig()
     if workers is not None:
         batch = replace(batch, workers=workers)
@@ -377,15 +380,39 @@ def run_batch(
         raise ValueError(
             f"unknown executor {batch.executor!r}; expected one of {', '.join(EXECUTORS)}"
         )
+    return batch
+
+
+def iter_run(
+    configs: Iterable[SynthConfig],
+    batch: BatchConfig | None = None,
+    *,
+    workers: int | None = None,
+    executor: str | None = None,
+):
+    """Run many scenarios, yielding each :class:`ScenarioRunResult` as it lands.
+
+    Results stream back in input order whatever the executor, and each
+    per-scenario result is identical to what a sequential run of the same
+    config produces (scenarios are generated from their seeds inside the
+    workers). Unlike :func:`run_batch`, only the in-flight results are held
+    in memory — million-scenario sweeps can consume (aggregate, write out,
+    discard) results as they arrive. ``workers``/``executor`` override the
+    corresponding :class:`BatchConfig` fields.
+
+    Closing the generator early shuts the worker pool down (in-flight
+    scenarios finish, queued ones are abandoned where the platform allows).
+    """
+    batch = _resolve_batch(batch, workers, executor)
     config_list = list(configs)
     effective_workers = batch.resolve_workers(len(config_list))
     run_one = functools.partial(run_scenario, batch=batch)
 
-    started = time.perf_counter()
     if not config_list:
-        results: list[ScenarioRunResult] = []
-    elif batch.executor == "serial" or effective_workers == 1:
-        results = [run_one(config) for config in config_list]
+        return
+    if batch.executor == "serial" or effective_workers == 1:
+        for config in config_list:
+            yield run_one(config)
     elif batch.executor == "process":
         # Prefer fork so workers inherit the parent's state — in particular
         # scenario families registered at runtime via ``register_family``.
@@ -395,15 +422,34 @@ def run_batch(
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=effective_workers, mp_context=context) as pool:
-            results = list(pool.map(run_one, config_list))
+            yield from pool.map(run_one, config_list)
     else:
         with ThreadPoolExecutor(max_workers=effective_workers) as pool:
-            results = list(pool.map(run_one, config_list))
+            yield from pool.map(run_one, config_list)
+
+
+def run_batch(
+    configs: Iterable[SynthConfig],
+    batch: BatchConfig | None = None,
+    *,
+    workers: int | None = None,
+    executor: str | None = None,
+) -> BatchReport:
+    """Run many scenarios and aggregate their results.
+
+    A thin, fully-materialising wrapper over :func:`iter_run`: collects
+    every result into a :class:`BatchReport`. Use :func:`iter_run` directly
+    when the batch is too large to hold all results at once.
+    """
+    batch = _resolve_batch(batch, workers, executor)
+    config_list = list(configs)
+    started = time.perf_counter()
+    results = list(iter_run(config_list, batch))
     wall = time.perf_counter() - started
     return BatchReport(
         results=results,
         wall_seconds=wall,
-        workers=effective_workers,
+        workers=batch.resolve_workers(len(config_list)),
         executor=batch.executor,
     )
 
@@ -459,6 +505,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-data-context", action="store_true", help="skip the data-context phase"
     )
     parser.add_argument(
+        "--no-provenance",
+        action="store_true",
+        help="disable why-provenance tracking (faster, but results cannot be explained)",
+    )
+    parser.add_argument(
         "--max-steps", type=int, default=200, help="orchestration step budget per scenario"
     )
     parser.add_argument(
@@ -489,6 +540,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         use_data_context=not args.no_data_context,
         feedback_budget=args.feedback_budget,
         max_steps=args.max_steps,
+        track_provenance=not args.no_provenance,
     )
     report = run_batch(configs, batch)
 

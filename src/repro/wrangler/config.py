@@ -35,3 +35,7 @@ class WranglerConfig:
     enable_repair: bool = True
     #: Whether source-selection is registered (informational in the demo).
     enable_source_selection: bool = True
+    #: Whether why-provenance is recorded for every materialised tuple
+    #: (lineage-aware explanations and feedback). Default on; switch off to
+    #: benchmark the pipeline without lineage overhead.
+    track_provenance: bool = True

@@ -52,6 +52,8 @@ from repro.mapping.transducers import (
     result_relation_name,
 )
 from repro.matching.transducers import InstanceMatchingTransducer, SchemaMatchingTransducer
+from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.model import ProvenanceStore, provenance_store
 from repro.quality.metrics import QualityReport, evaluate_quality
 from repro.quality.transducers import (
     CFD_ARTIFACT_KEY,
@@ -114,6 +116,10 @@ class Wrangler:
         self._feedback = FeedbackCollector(self._kb)
         self._target_relation: str | None = None
         self._user_context: UserContext | None = None
+        # Seed the session's provenance store so every transducer records
+        # (or skips, when tracking is off) against the same instance.
+        self._provenance = provenance_store(
+            self._kb, enabled=self._config.track_provenance)
 
     # -- accessors -------------------------------------------------------------
 
@@ -141,6 +147,11 @@ class Wrangler:
     def target_relation(self) -> str | None:
         """Name of the declared target relation (None before it is set)."""
         return self._target_relation
+
+    @property
+    def provenance(self) -> ProvenanceStore:
+        """The session's lineage store (disabled when tracking is off)."""
+        return self._provenance
 
     # -- configuration of the wrangling task (Figure 3 interactions) -------------
 
@@ -241,6 +252,7 @@ class Wrangler:
             trace=self.trace,
             steps_executed=steps_executed,
             details={"kb_facts": self._kb.count(), "kb_revision": self._kb.revision},
+            provenance=self._provenance if self._provenance.enabled else None,
         )
 
     def step(self):
@@ -274,6 +286,28 @@ class Wrangler:
         """All candidate mappings currently known."""
         return sorted(self._kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {}).values(),
                       key=lambda mapping: mapping.mapping_id)
+
+    def explain(self, row: int | str, column: str | None = None) -> LineageTree:
+        """Why-provenance of one result cell (or tuple when ``column`` is None).
+
+        The returned tree has the annotated value at the root, one branch
+        per why-provenance witness, and the contributing *source rows*
+        (resolved from the catalog) at the leaves. Raises ``LookupError``
+        when there is no result yet or tracking is disabled.
+        """
+        table = self.result()
+        if table is None:
+            raise LookupError("no materialised result to explain yet; run() first")
+        if not self._provenance.enabled:
+            raise LookupError(
+                "provenance tracking is disabled for this session "
+                "(WranglerConfig.track_provenance=False)")
+        return explain(table, row, column, store=self._provenance,
+                       catalog=self._kb.catalog)
+
+    def explain_text(self, row: int | str, column: str | None = None) -> str:
+        """Human-readable rendering of :meth:`explain`."""
+        return render_lineage(self.explain(row, column))
 
     def evaluate(self, *, ground_truth: Table | None = None,
                  key: Sequence[str] = ("postcode", "price")) -> QualityReport | None:

@@ -7,6 +7,8 @@ from typing import Any
 
 from repro.core.trace import Trace
 from repro.mapping.model import SchemaMapping
+from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.model import ProvenanceStore
 from repro.quality.metrics import QualityReport
 from repro.relational.table import Table
 
@@ -33,11 +35,33 @@ class WranglingResult:
     steps_executed: int
     #: Extra details (per-criterion weights in use, ranking, …).
     details: dict[str, Any] = field(default_factory=dict)
+    #: Lineage recorded for the session (None when tracking is off).
+    provenance: ProvenanceStore | None = None
 
     @property
     def row_count(self) -> int:
         """Number of rows in the result (0 when there is none)."""
         return len(self.table) if self.table is not None else 0
+
+    def explain(self, row: int | str, column: str | None = None, *,
+                catalog=None) -> LineageTree:
+        """Why-provenance of one result cell (or tuple when ``column`` is None).
+
+        ``row`` is a row index or a row key. Pass the session catalog (e.g.
+        ``wrangler.kb.catalog``) to resolve the contributing source rows'
+        values at the leaves; :meth:`~repro.wrangler.pipeline.Wrangler.explain`
+        does that automatically.
+        """
+        if self.table is None:
+            raise LookupError("this stage produced no result table to explain")
+        if self.provenance is None:
+            raise LookupError("provenance tracking was disabled for this session")
+        return explain(self.table, row, column, store=self.provenance, catalog=catalog)
+
+    def explain_text(self, row: int | str, column: str | None = None, *,
+                     catalog=None) -> str:
+        """Human-readable rendering of :meth:`explain`."""
+        return render_lineage(self.explain(row, column, catalog=catalog))
 
     def summary(self) -> dict[str, Any]:
         """A compact dictionary used by examples and benchmarks."""

@@ -13,6 +13,7 @@ from repro.wrangler import batch as batch_module
 from repro.wrangler.batch import (
     BatchConfig,
     BatchReport,
+    iter_run,
     main,
     run_batch,
     run_scenario,
@@ -121,6 +122,52 @@ class TestBatchExecution:
         report = run_batch(tiny_configs(2), workers=1, executor="serial")
         assert report.executor == "serial"
         assert report.workers == 1
+
+
+class TestIterRun:
+    def test_streams_results_in_input_order(self):
+        configs = tiny_configs(3)
+        streamed = list(iter_run(configs, BatchConfig(executor="serial")))
+        assert [r.name for r in streamed] == [c.label() for c in configs]
+
+    def test_stream_matches_run_batch(self):
+        configs = tiny_configs(3)
+        streamed = list(iter_run(configs, BatchConfig(executor="process", workers=2)))
+        report = run_batch(configs, BatchConfig(executor="serial"))
+        assert [r.equivalence_key() for r in streamed] == \
+            [r.equivalence_key() for r in report.results]
+
+    def test_is_lazy_under_serial_executor(self):
+        # Pulling one result must not have run the whole batch: the serial
+        # path yields as it goes, so large sweeps can stop (or aggregate and
+        # discard) without materialising every result.
+        ran: list[str] = []
+        original = batch_module.run_scenario
+
+        def spy(config, batch=None):
+            ran.append(config.label())
+            return original(config, batch)
+
+        configs = tiny_configs(3)
+        batch_module.run_scenario = spy
+        try:
+            stream = iter_run(configs, BatchConfig(executor="serial"))
+            first = next(stream)
+            assert len(ran) == 1
+            stream.close()
+        finally:
+            batch_module.run_scenario = original
+        assert first.name == configs[0].label()
+        assert len(ran) == 1
+
+    def test_early_close_shuts_pool_down(self):
+        stream = iter_run(tiny_configs(3), BatchConfig(executor="process", workers=2))
+        first = next(stream)
+        stream.close()  # must not hang or leak the pool
+        assert first.ok
+
+    def test_empty_stream(self):
+        assert list(iter_run([], BatchConfig(executor="serial"))) == []
 
 
 class TestBatchReport:
