@@ -238,6 +238,19 @@ class Transducer(abc.ABC):
         self._runs += 1
         return result
 
+    def mark_synced(self, kb: KnowledgeBase) -> None:
+        """Treat the current KB state as already processed by this transducer.
+
+        Used by the incremental re-wrangling engine after it has performed a
+        transducer's work out of band (e.g. patched the materialised result
+        directly): without this, the next orchestration would re-run the
+        transducer over inputs whose effects are already reflected in the KB
+        — re-penalising the same feedback, re-materialising an identical
+        table — instead of quiescing.
+        """
+        self._last_run_revision = kb.revision
+        self._runs += 1
+
     # -- introspection ------------------------------------------------------------------
 
     @property

@@ -18,6 +18,7 @@ from repro.core.facts import Predicates
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
 from repro.feedback.assimilation import FeedbackAssimilator
+from repro.incremental.state import incremental_state
 from repro.mapping.model import PROVENANCE_ROW_ID
 from repro.mapping.transducers import FEEDBACK_PENALTIES_ARTIFACT_KEY, MAPPINGS_ARTIFACT_KEY
 from repro.provenance.feedback import (
@@ -107,8 +108,14 @@ class FeedbackRepairTransducer(Transducer):
     watch_predicates = ("result",)
 
     def run(self, kb: KnowledgeBase) -> TransducerResult:
+        state = incremental_state(kb, create=False)
+        feedback_rows = kb.facts(Predicates.FEEDBACK)
+        if state is not None:
+            # Whatever this pass applies (or skips as already applied) is
+            # reflected in the materialised tables from here on.
+            state.observe_feedback_applied({str(row[0]) for row in feedback_rows})
         by_relation: dict[str, list[tuple[str, str]]] = {}
-        for _fid, relation, row_key, attribute, verdict in kb.facts(Predicates.FEEDBACK):
+        for _fid, relation, row_key, attribute, verdict in feedback_rows:
             if verdict != Predicates.INCORRECT:
                 continue
             by_relation.setdefault(relation, []).append((str(row_key), attribute))
@@ -164,7 +171,10 @@ class FeedbackRepairTransducer(Transducer):
                         )
                 new_rows.append(tuple(mutable))
             if changed:
-                kb.update_table(table.replace_rows(new_rows))
+                rewritten = table.replace_rows(new_rows)
+                kb.update_table(rewritten)
+                if state is not None:
+                    state.observe_table_updated(rewritten)
                 tables_written.append(relation)
         return TransducerResult(
             facts_added=0,

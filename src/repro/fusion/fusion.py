@@ -107,6 +107,36 @@ class DataFuser:
             conflicts_resolved=conflicts,
         )
 
+    def fuse_cluster(
+        self,
+        relation: str,
+        names: Sequence[str],
+        member_rows: Sequence[tuple],
+        member_keys: Sequence[str],
+        *,
+        provenance: ProvenanceStore | None = None,
+    ) -> tuple[tuple, int]:
+        """Fuse one duplicate cluster outside a full-table pass.
+
+        ``member_rows`` must be in table order (the first member is the
+        surviving position). Returns ``(merged row, conflicts resolved)``;
+        with a provenance store, the members' lineage is merged and per-cell
+        winners recorded exactly as :meth:`fuse` does. This is the delta
+        path of incremental re-wrangling: only dirty clusters re-fuse.
+        """
+        merged, conflicts, winners = self._merge(names, list(member_rows))
+        if provenance is not None and provenance.enabled:
+            self._record_merge(
+                provenance,
+                relation,
+                names,
+                merged,
+                list(range(len(member_keys))),
+                list(member_keys),
+                winners,
+            )
+        return merged, conflicts
+
     def _record_merge(self, provenance: ProvenanceStore, relation: str,
                       names: Sequence[str], merged: tuple, members: Sequence[int],
                       row_keys: Sequence[str],

@@ -13,6 +13,7 @@ from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
 from repro.fusion.duplicates import DuplicateDetector, DuplicateDetectorConfig, DuplicatePair
 from repro.fusion.fusion import DataFuser
+from repro.incremental.state import incremental_state
 from repro.mapping.model import PROVENANCE_ROW_ID
 from repro.provenance.model import provenance_store
 
@@ -34,24 +35,41 @@ class DuplicateDetectionTransducer(Transducer):
         super().__init__()
         self._detector = DuplicateDetector(config)
 
+    @property
+    def detector(self) -> DuplicateDetector:
+        """The configured detector (shared with the incremental engine)."""
+        return self._detector
+
     def run(self, kb: KnowledgeBase) -> TransducerResult:
         added = 0
         all_pairs: dict[str, list[DuplicatePair]] = {}
+        state = incremental_state(kb, create=False)
         for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
+            # Detection always runs against the *current* table, so any
+            # previously asserted pairs are stale (their row values may have
+            # been re-materialised since). Retracting them before asserting
+            # the fresh set keeps the ``duplicate`` predicate in step with
+            # the table — without this, a re-materialised result re-detects
+            # the same pairs, nothing is new, and data fusion never re-runs.
+            kb.retract_where(Predicates.DUPLICATE, p0=relation)
             pairs = self._detector.detect(table)
             all_pairs[relation] = pairs
             has_row_id = PROVENANCE_ROW_ID in table.schema
             rows = table.rows()
+            pair_keys: dict[tuple[str, str], float] = {}
             for pair in pairs:
                 left_key = (str(rows[pair.left_index][PROVENANCE_ROW_ID]) if has_row_id
                             else str(pair.left_index))
                 right_key = (str(rows[pair.right_index][PROVENANCE_ROW_ID]) if has_row_id
                              else str(pair.right_index))
+                pair_keys[(left_key, right_key)] = pair.score
                 added += int(kb.assert_tuple(duplicate_fact(
                     relation, left_key, relation, right_key, pair.score)))
+            if state is not None and has_row_id:
+                state.observe_pairs(table, pair_keys)
         kb.store_artifact(DUPLICATES_ARTIFACT_KEY, all_pairs)
         total = sum(len(pairs) for pairs in all_pairs.values())
         return TransducerResult(
@@ -73,11 +91,17 @@ class DataFusionTransducer(Transducer):
         super().__init__()
         self._fuser = fuser or DataFuser()
 
+    @property
+    def fuser(self) -> DataFuser:
+        """The configured fuser (shared with the incremental engine)."""
+        return self._fuser
+
     def run(self, kb: KnowledgeBase) -> TransducerResult:
         all_pairs = kb.get_artifact(DUPLICATES_ARTIFACT_KEY, {})
         fused_tables = []
         rows_removed = 0
         store = provenance_store(kb)
+        state = incremental_state(kb, create=False)
         for relation, pairs in all_pairs.items():
             if not pairs or not kb.has_table(relation):
                 continue
@@ -86,6 +110,8 @@ class DataFusionTransducer(Transducer):
             if result.rows_removed == 0:
                 continue
             kb.update_table(result.table)
+            if state is not None:
+                state.observe_fused(result.table)
             # Refresh the result fact so downstream quality metrics notice
             # that the materialised result changed.
             for row in list(kb.facts(Predicates.RESULT)):

@@ -1,0 +1,275 @@
+"""Validation: incremental re-wrangling must equal the full pipeline.
+
+The incremental engine is an optimisation, not a semantics change. This
+module checks exactly that, the way the CQA literature frames incremental
+repair correctness: run the same scenario twice — one session applying each
+feedback round through :meth:`Wrangler.apply_feedback(incremental=True)
+<repro.wrangler.pipeline.Wrangler.apply_feedback>`, one through the full
+orchestrated re-run — and assert after every round that the materialised
+result tables are row-for-row equal (same rows, same order, same values),
+the same mapping is selected, and the revised match scores agree.
+
+Used three ways:
+
+- as a library (:func:`check_incremental`) by the property-based tests;
+- by ``benchmarks/test_bench_incremental.py``, whose speedup claim is only
+  meaningful if the cheap path computes the same thing;
+- as a CLI::
+
+      PYTHONPATH=src python -m repro.incremental.validate --check \
+          --family product_catalog --entities 2000 --rounds 3 --budget 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.facts import Predicates
+from repro.feedback.annotations import simulate_feedback
+from repro.scenarios.base import Scenario
+from repro.scenarios.synth import SynthConfig, generate_synthetic
+from repro.wrangler.config import WranglerConfig
+
+__all__ = ["RoundCheck", "ValidationReport", "check_incremental", "main"]
+
+
+@dataclass
+class RoundCheck:
+    """The comparison outcome of one feedback round."""
+
+    round: int
+    annotations: int
+    rows_incremental: int
+    rows_full: int
+    tables_equal: bool
+    selection_equal: bool
+    matches_equal: bool
+    #: Whether the incremental engine patched (False → it fell back).
+    patched: bool
+    fallback_reason: str = ""
+    seconds_incremental: float = 0.0
+    seconds_full: float = 0.0
+    mismatch: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Equality held for this round (patched or not)."""
+        return self.tables_equal and self.selection_equal and self.matches_equal
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one incremental-vs-full validation run."""
+
+    scenario: str
+    rounds: list[RoundCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every round's incremental output equalled the full re-run's."""
+        return all(check.ok for check in self.rounds)
+
+    @property
+    def patched_rounds(self) -> int:
+        """How many rounds the engine actually patched (vs fell back)."""
+        return sum(1 for check in self.rounds if check.patched)
+
+    def speedup(self) -> float:
+        """Wall-clock full/incremental ratio across all rounds."""
+        incremental = sum(check.seconds_incremental for check in self.rounds)
+        full = sum(check.seconds_full for check in self.rounds)
+        return full / max(incremental, 1e-9)
+
+    def describe(self) -> dict[str, Any]:
+        """A compact, JSON-friendly summary."""
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "rounds": len(self.rounds),
+            "patched_rounds": self.patched_rounds,
+            "speedup": round(self.speedup(), 2),
+            "failures": [
+                {"round": check.round, "mismatch": check.mismatch}
+                for check in self.rounds
+                if not check.ok
+            ],
+        }
+
+
+def _prepare(scenario: Scenario, config: WranglerConfig):
+    """One session wrangled through bootstrap + data context."""
+    # Imported lazily: the wrangler pipeline imports this package's engine,
+    # and a module-level import back into the pipeline would be circular.
+    from repro.wrangler.pipeline import Wrangler
+
+    wrangler = Wrangler(config=config)
+    scenario.install(wrangler)
+    wrangler.run("bootstrap", evaluate=False)
+    if scenario.reference is not None:
+        wrangler.add_reference_data(scenario.reference)
+    if scenario.master is not None:
+        wrangler.add_master_data(scenario.master)
+    if scenario.reference is not None or scenario.master is not None:
+        wrangler.run("data_context", evaluate=False)
+    return wrangler
+
+
+def _compare_tables(left, right) -> str:
+    """Empty string when equal, else a description of the first difference."""
+    if left is None or right is None:
+        if left is right:
+            return ""
+        return "one session has no result table"
+    if list(left.schema.attribute_names) != list(right.schema.attribute_names):
+        return (
+            f"schemas differ: {list(left.schema.attribute_names)} "
+            f"vs {list(right.schema.attribute_names)}"
+        )
+    left_rows = left.tuples()
+    right_rows = right.tuples()
+    if len(left_rows) != len(right_rows):
+        return f"row counts differ: {len(left_rows)} vs {len(right_rows)}"
+    for position, (a, b) in enumerate(zip(left_rows, right_rows)):
+        if a != b:
+            return f"row {position} differs: {a!r} vs {b!r}"
+    return ""
+
+
+def check_incremental(
+    scenario: Scenario | SynthConfig | None = None,
+    *,
+    rounds: int = 3,
+    budget: int = 10,
+    seed: int = 0,
+    wrangler_config: WranglerConfig | None = None,
+    ground_truth_key: Sequence[str] | None = None,
+) -> ValidationReport:
+    """Run ``rounds`` identical feedback rounds through both paths and compare.
+
+    Each round simulates a user annotating ``budget`` cells of the *full*
+    session's current result against ground truth, then asserts the same
+    annotations into both sessions. Equality must hold whether the
+    incremental engine patched or fell back — the fallback is part of the
+    contract.
+    """
+    if scenario is None:
+        scenario = SynthConfig()
+    if isinstance(scenario, SynthConfig):
+        scenario = generate_synthetic(scenario)
+    config = wrangler_config or WranglerConfig()
+    key = tuple(ground_truth_key or scenario.evaluation_key)
+
+    incremental_session = _prepare(scenario, config)
+    full_session = _prepare(scenario, config)
+    report = ValidationReport(scenario=scenario.name)
+
+    for round_number in range(1, rounds + 1):
+        reference_table = full_session.result()
+        if reference_table is None:
+            break
+        annotations = simulate_feedback(
+            reference_table,
+            scenario.ground_truth,
+            key,
+            budget=budget,
+            seed=seed * 7919 + round_number,
+            strategy="targeted",
+            id_prefix=f"v{round_number}",
+        )
+        # Both sides skip the quality-report diagnostic: the comparison (and
+        # the timing) is about the re-wrangling itself.
+        started = time.perf_counter()
+        incremental_result = incremental_session.apply_feedback(
+            annotations, incremental=True, evaluate=False
+        )
+        incremental_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        full_session.add_feedback(annotations)
+        full_session.run("feedback", evaluate=False)
+        full_elapsed = time.perf_counter() - started
+
+        left = incremental_session.result()
+        right = full_session.result()
+        mismatch = _compare_tables(left, right)
+        left_selected = incremental_session.selected_mapping()
+        right_selected = full_session.selected_mapping()
+        left_id = left_selected.mapping_id if left_selected else None
+        right_id = right_selected.mapping_id if right_selected else None
+        left_matches = sorted(incremental_session.kb.facts(Predicates.MATCH))
+        right_matches = sorted(full_session.kb.facts(Predicates.MATCH))
+        outcome = incremental_result.details.get("incremental", {})
+        report.rounds.append(
+            RoundCheck(
+                round=round_number,
+                annotations=len(annotations),
+                rows_incremental=len(left) if left is not None else 0,
+                rows_full=len(right) if right is not None else 0,
+                tables_equal=not mismatch,
+                selection_equal=left_id == right_id,
+                matches_equal=left_matches == right_matches,
+                patched=bool(outcome.get("applied")),
+                fallback_reason="" if outcome.get("applied") else str(outcome.get("reason", "")),
+                seconds_incremental=incremental_elapsed,
+                seconds_full=full_elapsed,
+                mismatch=mismatch,
+            )
+        )
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; exits non-zero when ``--check`` finds a divergence."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.incremental.validate",
+        description="Check incremental re-wrangling against the full pipeline.",
+    )
+    parser.add_argument("--family", default="product_catalog", help="scenario family")
+    parser.add_argument("--entities", type=int, default=500, help="ground-truth entities")
+    parser.add_argument("--sources", type=int, default=2, help="source tables")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument("--rounds", type=int, default=3, help="feedback rounds")
+    parser.add_argument("--budget", type=int, default=10, help="annotations per round")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every round's outputs are identical",
+    )
+    args = parser.parse_args(argv)
+
+    report = check_incremental(
+        SynthConfig(
+            family=args.family,
+            entities=args.entities,
+            sources=args.sources,
+            seed=args.seed,
+        ),
+        rounds=args.rounds,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    for check in report.rounds:
+        status = "ok " if check.ok else "FAIL"
+        mode = "patched" if check.patched else f"fallback ({check.fallback_reason})"
+        print(
+            f"{status} round {check.round}: {check.annotations} annotations, "
+            f"rows {check.rows_incremental}/{check.rows_full}, {mode}, "
+            f"incremental {check.seconds_incremental:.3f}s vs full {check.seconds_full:.3f}s"
+        )
+        if check.mismatch:
+            print(f"     mismatch: {check.mismatch}")
+    print(
+        f"{report.scenario}: {'EQUAL' if report.ok else 'DIVERGED'} over "
+        f"{len(report.rounds)} rounds ({report.patched_rounds} patched), "
+        f"speedup {report.speedup():.2f}x"
+    )
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI test
+    raise SystemExit(main())

@@ -60,23 +60,81 @@ class MappingExecutor:
             store.clear_relation(name)
         coerced_rows = []
         for row, refs, leaf in self._rows_for(mapping, target_schema):
-            coerced = []
-            for attribute, value in zip(target_schema.attributes, row[:-2]):
-                coerced.append(_coerce_or_null(value, attribute.dtype))
-            coerced_rows.append((*coerced, row[-2], row[-1]))
-            if store is not None:
-                store.record_tuple(
-                    name,
-                    str(row[-1]),
-                    operator=OPERATOR_MAPPING,
-                    witnesses=(frozenset(refs),),
-                    mapping_id=mapping.mapping_id,
-                    cell_sources=self._cell_sources(leaf),
-                )
+            coerced_rows.append(self._emit(name, row, refs, leaf, mapping, target_schema, store))
         output_schema = self._output_schema(target_schema, name)
         return Table(output_schema, coerced_rows, coerce=False)
 
+    def execute_rows(
+        self,
+        mapping: SchemaMapping,
+        target_schema: Schema,
+        *,
+        driving: "dict[str, Iterable[int]]",
+        result_name: str,
+    ) -> list[tuple[str, tuple]]:
+        """Materialise only the given driving rows of ``mapping``.
+
+        ``driving`` maps driving source relations to the positional indexes
+        of the rows to (re-)execute. Returns ``(row key, output row)`` pairs
+        in leaf/driving order — exactly the rows a full :meth:`execute`
+        would produce for those positions, including join lookups and type
+        coercion. Lineage for each produced tuple is recorded under
+        ``result_name``, replacing any previous annotation of that key (this
+        is the delta path of incremental re-wrangling; it must not clear the
+        rest of the relation's lineage the way a full execute does).
+        """
+        store = self._provenance
+        if store is not None and not store.enabled:
+            store = None
+        produced: list[tuple[str, tuple]] = []
+        for leaf in self._leaves(mapping):
+            wanted = driving.get(leaf.sources[0])
+            if not wanted:
+                continue
+            source = self._get(leaf.sources[0])
+            tuples = source.tuples()
+            items = [
+                (index, tuples[index])
+                for index in sorted(set(wanted))
+                if 0 <= index < len(tuples)
+            ]
+            if leaf.kind == "direct":
+                generated = self._direct_rows(leaf, target_schema, items=items)
+            else:
+                generated = self._join_rows(leaf, target_schema, items=items)
+            for row, refs, produced_leaf in generated:
+                emitted = self._emit(
+                    result_name, row, refs, produced_leaf, mapping, target_schema, store
+                )
+                produced.append((str(row[-1]), emitted))
+        return produced
+
     # -- internals -----------------------------------------------------------
+
+    def _emit(self, name, row, refs, leaf, mapping, target_schema, store) -> tuple:
+        """Coerce one generated row and record its lineage."""
+        coerced = []
+        for attribute, value in zip(target_schema.attributes, row[:-2]):
+            coerced.append(_coerce_or_null(value, attribute.dtype))
+        if store is not None:
+            store.record_tuple(
+                name,
+                str(row[-1]),
+                operator=OPERATOR_MAPPING,
+                witnesses=(frozenset(refs),),
+                mapping_id=mapping.mapping_id,
+                cell_sources=self._cell_sources(leaf),
+            )
+        return (*coerced, row[-2], row[-1])
+
+    def _leaves(self, mapping: SchemaMapping) -> list[SchemaMapping]:
+        """Leaf (direct/join) mappings in materialisation order."""
+        if mapping.kind == "union":
+            leaves: list[SchemaMapping] = []
+            for child in mapping.children:
+                leaves.extend(self._leaves(child))
+            return leaves
+        return [mapping]
 
     def _output_schema(self, target_schema: Schema, name: str) -> Schema:
         attributes = list(target_schema.attributes)
@@ -123,7 +181,12 @@ class MappingExecutor:
             return
         yield from self._join_rows(mapping, target_schema)
 
-    def _direct_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
+    def _direct_rows(
+        self,
+        mapping: SchemaMapping,
+        target_schema: Schema,
+        items: Iterable[tuple[int, tuple]] | None = None,
+    ) -> Iterable[tuple]:
         source_name = mapping.sources[0]
         source = self._get(source_name)
         store = self._provenance
@@ -133,7 +196,9 @@ class MappingExecutor:
                 positions[assignment.target_attribute] = source.schema.position(
                     assignment.source_attribute
                 )
-        for index, values in enumerate(source.tuples()):
+        if items is None:
+            items = enumerate(source.tuples())
+        for index, values in items:
             row = []
             for attribute in target_schema.attribute_names:
                 position = positions.get(attribute)
@@ -142,7 +207,12 @@ class MappingExecutor:
             refs = (store.ref(source_name, row_id),) if store is not None else ()
             yield (*row, source_name, row_id), refs, mapping
 
-    def _join_rows(self, mapping: SchemaMapping, target_schema: Schema) -> Iterable[tuple]:
+    def _join_rows(
+        self,
+        mapping: SchemaMapping,
+        target_schema: Schema,
+        items: Iterable[tuple[int, tuple]] | None = None,
+    ) -> Iterable[tuple]:
         # Join the sources pairwise following the declared conditions. The
         # first source is the driving relation for provenance purposes.
         driving_name = mapping.sources[0]
@@ -176,7 +246,9 @@ class MappingExecutor:
         for assignment in mapping.assignments:
             assignments_by_source.setdefault(assignment.source_relation, []).append(assignment)
 
-        for row_index, driving_values in enumerate(driving.tuples()):
+        if items is None:
+            items = enumerate(driving.tuples())
+        for row_index, driving_values in items:
             row: dict[str, object] = {}
             for assignment in assignments_by_source.get(driving_name, ()):
                 if assignment.source_attribute in driving.schema:

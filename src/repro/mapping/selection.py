@@ -85,8 +85,16 @@ class MappingScorer:
         self._completeness_weights = dict(completeness_weights or {})
         self._coverage_prior = coverage_prior
 
-    def score(self, mapping: SchemaMapping) -> MappingScore:
-        """Score one candidate mapping."""
+    def base_score(self, mapping: SchemaMapping) -> tuple[dict[str, float], int]:
+        """Penalty-free criterion scores of one candidate (and its row count).
+
+        This is the expensive part of scoring — the candidate is materialised
+        and evaluated against the data context — and it depends only on the
+        mapping's structure, the source tables, the data context and the
+        learned CFDs. Feedback does not enter here, which is what makes the
+        result cacheable across feedback-driven re-scores (see ``base_cache``
+        in :meth:`score_all`).
+        """
         table = self._executor.execute(
             mapping, self._target_schema, result_name=f"__candidate_{mapping.mapping_id}"
         )
@@ -102,17 +110,31 @@ class MappingScorer:
             master_key=self._master_key,
             completeness_weights=self._completeness_weights or None,
         )
-        criteria = report.as_dict()
-        accuracy = self._apply_feedback_penalty(mapping, criteria["accuracy"], len(table))
-        criteria["accuracy"] = self._apply_mapping_penalty(mapping, accuracy, len(table))
+        return report.as_dict(), len(table)
+
+    def score(
+        self, mapping: SchemaMapping, base: tuple[dict[str, float], int] | None = None
+    ) -> MappingScore:
+        """Score one candidate mapping (``base`` reuses a cached base score)."""
+        if base is None:
+            base = self.base_score(mapping)
+        base_criteria, row_count = base
+        criteria = dict(base_criteria)
+        accuracy = self._apply_feedback_penalty(mapping, criteria["accuracy"], row_count)
+        criteria["accuracy"] = self._apply_mapping_penalty(mapping, accuracy, row_count)
         return MappingScore(
             mapping_id=mapping.mapping_id,
             criteria=criteria,
-            row_count=len(table),
+            row_count=row_count,
             match_confidence=mapping.mean_match_score(),
         )
 
-    def score_all(self, mappings: Sequence[SchemaMapping]) -> dict[str, MappingScore]:
+    def score_all(
+        self,
+        mappings: Sequence[SchemaMapping],
+        *,
+        base_cache: dict[str, tuple[dict[str, float], int]] | None = None,
+    ) -> dict[str, MappingScore]:
         """Score every candidate, adding the cross-candidate coverage prior.
 
         The ``coverage`` criterion blends how much of the target schema a
@@ -122,8 +144,22 @@ class MappingScorer:
         join mapping whose handful of fully-populated rows win on
         completeness alone — the paper's pay-as-you-go story needs the
         *broad* result first, refined once data context and feedback arrive.
+
+        ``base_cache`` maps mapping ids to previously computed
+        :meth:`base_score` results; cached candidates skip materialisation
+        entirely (the caller is responsible for invalidating the cache when
+        sources, data context or CFDs change — see
+        :class:`~repro.mapping.transducers.MappingQualityTransducer`). The
+        cache is updated in place with any base scores computed here.
         """
-        scores = {mapping.mapping_id: self.score(mapping) for mapping in mappings}
+        scores: dict[str, MappingScore] = {}
+        for mapping in mappings:
+            base = base_cache.get(mapping.mapping_id) if base_cache is not None else None
+            if base is None:
+                base = self.base_score(mapping)
+                if base_cache is not None:
+                    base_cache[mapping.mapping_id] = base
+            scores[mapping.mapping_id] = self.score(mapping, base)
         if not self._coverage_prior or not scores:
             return scores
         target_attributes = [

@@ -19,6 +19,7 @@ from repro.core.facts import (
 )
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.incremental.state import incremental_state
 from repro.matching.correspondence import MatchSet
 from repro.mapping.execution import MappingExecutor
 from repro.mapping.generation import MappingGenerator, MappingGeneratorConfig
@@ -43,6 +44,11 @@ __all__ = [
 MAPPINGS_ARTIFACT_KEY = "candidate_mappings"
 #: Artifact key for feedback-derived error rates per (source, target attribute).
 FEEDBACK_PENALTIES_ARTIFACT_KEY = "feedback_penalties"
+#: Artifact key for the cached penalty-free base scores of candidate mappings
+#: ({"context_key": ..., "bases": {target_relation: {mapping_id: base}}}).
+#: Feedback-driven re-scores reuse these instead of re-materialising every
+#: candidate; the entry is dropped whenever the scoring context changes.
+BASE_SCORES_ARTIFACT_KEY = "mapping_base_scores"
 
 
 def result_relation_name(target_relation: str) -> str:
@@ -115,12 +121,16 @@ class MappingQualityTransducer(Transducer):
             return TransducerResult(notes="no candidate mappings to score")
         added = 0
         scored = 0
+        base_cache = self._base_cache(kb)
         kb.retract_where(Predicates.MAPPING_SCORE)
         for target_relation in kb.target_relations():
             target_schema = kb.schema_of(target_relation)
             scorer = self._build_scorer(kb, target_relation, target_schema)
             relevant = [m for m in candidates.values() if m.target_relation == target_relation]
-            for mapping_id, score in scorer.score_all(relevant).items():
+            relation_cache = base_cache["bases"].setdefault(target_relation, {})
+            for mapping_id, score in scorer.score_all(
+                relevant, base_cache=relation_cache
+            ).items():
                 scored += 1
                 for criterion, value in score.criteria.items():
                     added += int(kb.assert_tuple(mapping_score_fact(mapping_id, criterion, value)))
@@ -133,6 +143,32 @@ class MappingQualityTransducer(Transducer):
             facts_added=added,
             notes=f"scored {scored} candidate mappings",
         )
+
+    def _base_cache(self, kb: KnowledgeBase) -> dict:
+        """The session's base-score cache, invalidated on context changes.
+
+        Base scores depend on the source tables, the data context, the
+        learned CFDs and the completeness weights — but *not* on feedback.
+        The context key tracks the revisions of exactly those inputs (source
+        volumes stand in for source contents: sources are logically
+        immutable apart from explicit row additions/removals, which change
+        their row counts), so feedback-only re-scores hit the cache while
+        any context change rebuilds it.
+        """
+        sources = tuple(
+            sorted(row for row in kb.facts(Predicates.DATASET) if row[1] == Predicates.ROLE_SOURCE)
+        )
+        context_key = (
+            kb.predicate_revision(Predicates.CFD),
+            kb.predicate_revision(Predicates.DATA_CONTEXT),
+            kb.predicate_revision(Predicates.CRITERION_WEIGHT),
+            sources,
+        )
+        cache = kb.get_artifact(BASE_SCORES_ARTIFACT_KEY)
+        if cache is None or cache.get("context_key") != context_key:
+            cache = {"context_key": context_key, "bases": {}}
+            kb.store_artifact(BASE_SCORES_ARTIFACT_KEY, cache)
+        return cache
 
     def _build_scorer(
         self, kb: KnowledgeBase, target_relation: str, target_schema
@@ -270,6 +306,9 @@ class ResultMaterialisationTransducer(Transducer):
             kb.update_table(table)
         else:
             kb.catalog.register(table, replace=True)
+        state = incremental_state(kb, create=False)
+        if state is not None:
+            state.observe_materialised(table, mapping, provenance_store(kb, create=False))
         # Refresh the result fact (retract results for this target first).
         for row in list(kb.facts(Predicates.RESULT)):
             if row[0] == result_name:

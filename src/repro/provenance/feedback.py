@@ -89,6 +89,35 @@ class LineagePropagation:
 class LineageFeedbackPropagator:
     """Attributes feedback facts through recorded lineage."""
 
+    def emit_deltas(self, kb, *, seen: Iterable[str] = ()) -> "ChangeSet":
+        """The feedback facts as a typed change set for incremental re-wrangling.
+
+        ``seen`` names feedback ids whose table effects are already
+        materialised (tracked by the incremental state); they are skipped, so
+        the emitted change set describes exactly the *new* revisions. This is
+        the bridge from the feedback loop into
+        :mod:`repro.incremental`: annotations become
+        :class:`~repro.incremental.delta.FeedbackDelta` objects whose row
+        keys the impact index closes over the recorded lineage.
+        """
+        from repro.incremental.delta import ChangeSet, FeedbackDelta
+
+        seen_ids = set(seen)
+        deltas = []
+        for fid, relation, row_key, attribute, verdict in kb.facts(Predicates.FEEDBACK):
+            if str(fid) in seen_ids:
+                continue
+            deltas.append(
+                FeedbackDelta(
+                    relation=str(relation),
+                    row_key=str(row_key),
+                    attribute=None if attribute == Predicates.ANY_ATTRIBUTE else str(attribute),
+                    correct=verdict == Predicates.CORRECT,
+                    feedback_id=str(fid),
+                )
+            )
+        return ChangeSet(deltas=tuple(deltas), origin="feedback facts")
+
     def collect(
         self,
         kb,

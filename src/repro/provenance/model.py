@@ -208,9 +208,16 @@ class ProvenanceStore:
         cell_sources: Mapping[str, str] | None = None,
         cells: Mapping[str, CellLineage] | None = None,
     ) -> None:
-        """Record (or replace) the lineage of one tuple."""
+        """Record (or replace) the lineage of one tuple.
+
+        Recording revives a previously dropped key: patched rows *replace*
+        their old annotations (witness sets, drop markers) rather than
+        accumulating them, so repeated incremental re-materialisations keep
+        the store size stable.
+        """
         if not self.enabled:
             return
+        self._dropped.get(relation, {}).pop(str(row_key), None)
         shared = self.intern_cell_sources(cell_sources) if cell_sources is not None else None
         self._tuples.setdefault(relation, {})[str(row_key)] = TupleLineage(
             operator=operator,
@@ -310,6 +317,14 @@ class ProvenanceStore:
     def relations(self) -> list[str]:
         """Relations with any recorded lineage."""
         return sorted(self._tuples)
+
+    def iter_tuples(self, relation: str) -> Iterable[tuple[str, TupleLineage]]:
+        """Iterate ``(row key, lineage)`` pairs of one relation.
+
+        This is the bulk-read API the impact index uses to invert the store
+        (source ref → downstream row keys) without touching internals.
+        """
+        return self._tuples.get(relation, {}).items()
 
     def tuple_lineage(self, relation: str, row_key: str) -> TupleLineage | None:
         """Lineage of one tuple (None when untracked)."""

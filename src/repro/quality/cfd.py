@@ -92,8 +92,9 @@ class CFD:
         """The row's LHS value combination, normalised for witness lookups."""
         return normalise_key_tuple(row[attribute] for attribute in self.lhs)
 
-    def check_row(self, row: Mapping[str, Any], *,
-                  witness: Mapping[tuple, Any] | None = None) -> bool:
+    def check_row(
+        self, row: Mapping[str, Any], *, witness: Mapping[tuple, Any] | None = None
+    ) -> bool:
         """Whether ``row`` satisfies this CFD.
 
         For constant CFDs the RHS must equal the prescribed constant. For
@@ -115,8 +116,9 @@ class CFD:
             return False
         return _values_equal(value, expected)
 
-    def expected_value(self, row: Mapping[str, Any], *,
-                       witness: Mapping[tuple, Any] | None = None) -> Any:
+    def expected_value(
+        self, row: Mapping[str, Any], *, witness: Mapping[tuple, Any] | None = None
+    ) -> Any:
         """The value the RHS *should* have for ``row`` (None when unknown)."""
         if not self.applies_to(row):
             return None
@@ -152,13 +154,18 @@ class Violation:
     expected: Any
 
     def __str__(self) -> str:
-        return (f"{self.relation}[{self.row_index}].{self.attribute}: "
-                f"{self.actual!r} (expected {self.expected!r}, cfd {self.cfd_id})")
+        return (
+            f"{self.relation}[{self.row_index}].{self.attribute}: "
+            f"{self.actual!r} (expected {self.expected!r}, cfd {self.cfd_id})"
+        )
 
 
-def find_violations(table: Table, cfds: Iterable[CFD], *,
-                    witnesses: Mapping[str, Mapping[tuple, Any]] | None = None
-                    ) -> list[Violation]:
+def find_violations(
+    table: Table,
+    cfds: Iterable[CFD],
+    *,
+    witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
+) -> list[Violation]:
     """All violations of ``cfds`` in ``table``.
 
     ``witnesses`` maps CFD ids to witness indexes (LHS values → expected RHS
@@ -172,14 +179,16 @@ def find_violations(table: Table, cfds: Iterable[CFD], *,
         for index, row in enumerate(table.rows()):
             if cfd.check_row(row, witness=witness):
                 continue
-            violations.append(Violation(
-                cfd_id=cfd.cfd_id,
-                relation=table.name,
-                row_index=index,
-                attribute=cfd.rhs,
-                actual=row.get(cfd.rhs),
-                expected=cfd.expected_value(row, witness=witness),
-            ))
+            violations.append(
+                Violation(
+                    cfd_id=cfd.cfd_id,
+                    relation=table.name,
+                    row_index=index,
+                    attribute=cfd.rhs,
+                    actual=row.get(cfd.rhs),
+                    expected=cfd.expected_value(row, witness=witness),
+                )
+            )
     return violations
 
 

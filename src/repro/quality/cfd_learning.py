@@ -72,8 +72,13 @@ class CFDLearner:
         """The learner configuration."""
         return self._config
 
-    def learn(self, reference: Table, *, target_relation: str | None = None,
-              attribute_map: Mapping[str, str] | None = None) -> LearnedCFDs:
+    def learn(
+        self,
+        reference: Table,
+        *,
+        target_relation: str | None = None,
+        attribute_map: Mapping[str, str] | None = None,
+    ) -> LearnedCFDs:
         """Learn CFDs from ``reference``.
 
         ``target_relation`` / ``attribute_map`` translate the dependencies to
@@ -87,7 +92,8 @@ class CFDLearner:
         rename = dict(attribute_map or {})
         config = self._config
         discovered = discover_functional_dependencies(
-            reference, min_confidence=config.min_confidence, max_lhs_size=config.max_lhs_size)
+            reference, min_confidence=config.min_confidence, max_lhs_size=config.max_lhs_size
+        )
 
         cfds: list[CFD] = []
         witnesses: dict[str, dict[tuple, Any]] = {}
@@ -114,13 +120,23 @@ class CFDLearner:
             )
             cfds.append(variable)
             witnesses[cfd_id] = build_witness(reference, lhs, rhs)
-            cfds.extend(self._constant_patterns(reference, lhs, rhs, relation,
-                                                mapped_lhs, mapped_rhs, cfd_id))
+            cfds.extend(
+                self._constant_patterns(
+                    reference, lhs, rhs, relation, mapped_lhs, mapped_rhs, cfd_id
+                )
+            )
         return LearnedCFDs(cfds=cfds, witnesses=witnesses)
 
-    def _constant_patterns(self, reference: Table, lhs: tuple[str, ...], rhs: str,
-                           relation: str, mapped_lhs: tuple[str, ...], mapped_rhs: str,
-                           parent_id: str) -> list[CFD]:
+    def _constant_patterns(
+        self,
+        reference: Table,
+        lhs: tuple[str, ...],
+        rhs: str,
+        relation: str,
+        mapped_lhs: tuple[str, ...],
+        mapped_rhs: str,
+        parent_id: str,
+    ) -> list[CFD]:
         """Emit constant-pattern CFDs for frequent LHS value combinations."""
         config = self._config
         groups: dict[tuple, dict[Any, int]] = defaultdict(lambda: defaultdict(int))
@@ -134,23 +150,30 @@ class CFDLearner:
             groups[key][value] += 1
         total_rows = max(1, len(reference))
         frequent = sorted(
-            ((key, counts) for key, counts in groups.items()
-             if sum(counts.values()) >= config.min_constant_support),
-            key=lambda item: -sum(item[1].values()))
+            (
+                (key, counts)
+                for key, counts in groups.items()
+                if sum(counts.values()) >= config.min_constant_support
+            ),
+            key=lambda item: -sum(item[1].values()),
+        )
+        limit = config.max_constant_patterns
         patterns: list[CFD] = []
-        for index, (key, counts) in enumerate(frequent[:config.max_constant_patterns], start=1):
+        for index, (key, counts) in enumerate(frequent[:limit], start=1):
             expected, expected_count = max(counts.items(), key=lambda item: item[1])
             group_size = sum(counts.values())
-            patterns.append(CFD(
-                cfd_id=f"{parent_id}_const{index}",
-                relation=relation,
-                lhs=mapped_lhs,
-                rhs=mapped_rhs,
-                lhs_pattern=tuple(zip(mapped_lhs, key)),
-                rhs_pattern=expected,
-                support=group_size / total_rows,
-                confidence=expected_count / group_size,
-            ))
+            patterns.append(
+                CFD(
+                    cfd_id=f"{parent_id}_const{index}",
+                    relation=relation,
+                    lhs=mapped_lhs,
+                    rhs=mapped_rhs,
+                    lhs_pattern=tuple(zip(mapped_lhs, key)),
+                    rhs_pattern=expected,
+                    support=group_size / total_rows,
+                    confidence=expected_count / group_size,
+                )
+            )
         return patterns
 
     @staticmethod
@@ -160,13 +183,14 @@ class CFDLearner:
         if not len(reference):
             return 0.0
         supported = sum(
-            1 for values in reference.tuples()
-            if not any(is_null(values[p]) for p in positions))
+            1 for values in reference.tuples() if not any(is_null(values[p]) for p in positions)
+        )
         return supported / len(reference)
 
 
-def build_witness(reference: Table, lhs: tuple[str, ...] | list[str], rhs: str
-                  ) -> dict[tuple, Any]:
+def build_witness(
+    reference: Table, lhs: tuple[str, ...] | list[str], rhs: str
+) -> dict[tuple, Any]:
     """Build a witness index (LHS values → majority RHS value) from reference data.
 
     LHS keys are normalised (:func:`repro.relational.keys.normalise_key_tuple`)
@@ -182,5 +206,6 @@ def build_witness(reference: Table, lhs: tuple[str, ...] | list[str], rhs: str
         if any(part is None for part in key) or is_null(value):
             continue
         groups[key][value] += 1
-    return {key: max(counts.items(), key=lambda item: item[1])[0]
-            for key, counts in groups.items()}
+    return {
+        key: max(counts.items(), key=lambda item: item[1])[0] for key, counts in groups.items()
+    }

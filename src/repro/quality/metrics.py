@@ -38,8 +38,11 @@ def attribute_completeness(table: Table, attribute: str) -> float:
     return 1.0 - table.null_count(attribute) / len(table)
 
 
-def table_completeness(table: Table, attributes: Sequence[str] | None = None,
-                       weights: Mapping[str, float] | None = None) -> float:
+def table_completeness(
+    table: Table,
+    attributes: Sequence[str] | None = None,
+    weights: Mapping[str, float] | None = None,
+) -> float:
     """(Weighted) mean completeness over ``attributes``.
 
     By default all attributes are considered except bookkeeping columns
@@ -55,13 +58,16 @@ def table_completeness(table: Table, attributes: Sequence[str] | None = None,
     if weights:
         total_weight = sum(weights.get(name, 0.0) for name in names)
         if total_weight > 0:
-            return sum(attribute_completeness(table, name) * weights.get(name, 0.0)
-                       for name in names) / total_weight
+            weighted = sum(
+                attribute_completeness(table, name) * weights.get(name, 0.0) for name in names
+            )
+            return weighted / total_weight
     return sum(attribute_completeness(table, name) for name in names) / len(names)
 
 
-def accuracy_against_reference(table: Table, reference: Table, key: Sequence[str],
-                               attributes: Sequence[str] | None = None) -> float:
+def accuracy_against_reference(
+    table: Table, reference: Table, key: Sequence[str], attributes: Sequence[str] | None = None
+) -> float:
     """Fraction of checked cells agreeing with ``reference``.
 
     Rows are joined to the reference on ``key``; for each joined row, each of
@@ -70,10 +76,16 @@ def accuracy_against_reference(table: Table, reference: Table, key: Sequence[str
     measures correctness of what can be checked, completeness handles
     missingness).
     """
-    shared = [name for name in table.schema.attribute_names
-              if name in reference.schema and name not in key and not name.startswith("_")]
-    names = [name for name in (attributes if attributes is not None else shared)
-             if name in reference.schema]
+    shared = [
+        name
+        for name in table.schema.attribute_names
+        if name in reference.schema and name not in key and not name.startswith("_")
+    ]
+    names = [
+        name
+        for name in (attributes if attributes is not None else shared)
+        if name in reference.schema
+    ]
     if not names:
         return 0.0
     reference_index: dict[tuple, dict[str, Any]] = {}
@@ -107,14 +119,14 @@ def accuracy_against_reference(table: Table, reference: Table, key: Sequence[str
     return correct / checked
 
 
-def attribute_accuracy(table: Table, reference: Table, key: Sequence[str],
-                       attribute: str) -> float:
+def attribute_accuracy(table: Table, reference: Table, key: Sequence[str], attribute: str) -> float:
     """Accuracy of a single attribute against reference data."""
     return accuracy_against_reference(table, reference, key, [attribute])
 
 
-def consistency(table: Table, cfds: Iterable[CFD], *,
-                witnesses: Mapping[str, Mapping[tuple, Any]] | None = None) -> float:
+def consistency(
+    table: Table, cfds: Iterable[CFD], *, witnesses: Mapping[str, Mapping[tuple, Any]] | None = None
+) -> float:
     """1 − (violating cells / checkable cells) for the given CFDs."""
     cfd_list = list(cfds)
     if not cfd_list or len(table) == 0:
@@ -192,14 +204,17 @@ class QualityReport:
         }
 
 
-def evaluate_quality(table: Table, *,
-                     reference: Table | None = None,
-                     reference_key: Sequence[str] = (),
-                     cfds: Iterable[CFD] = (),
-                     witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
-                     master: Table | None = None,
-                     master_key: Sequence[str] = (),
-                     completeness_weights: Mapping[str, float] | None = None) -> QualityReport:
+def evaluate_quality(
+    table: Table,
+    *,
+    reference: Table | None = None,
+    reference_key: Sequence[str] = (),
+    cfds: Iterable[CFD] = (),
+    witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
+    master: Table | None = None,
+    master_key: Sequence[str] = (),
+    completeness_weights: Mapping[str, float] | None = None,
+) -> QualityReport:
     """Compute a full :class:`QualityReport` for ``table``.
 
     Criteria whose supporting information is unavailable degrade gracefully:
@@ -212,7 +227,9 @@ def evaluate_quality(table: Table, *,
     """
     completeness_by_attribute = {
         name: attribute_completeness(table, name)
-        for name in table.schema.attribute_names if not name.startswith("_")}
+        for name in table.schema.attribute_names
+        if not name.startswith("_")
+    }
     completeness_score = table_completeness(table, weights=completeness_weights)
     if reference is not None and reference_key:
         accuracy_score = accuracy_against_reference(table, reference, reference_key)

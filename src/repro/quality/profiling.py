@@ -64,8 +64,9 @@ def profile_column(table: Table, attribute: str) -> ColumnProfile:
 
 def profile_table(table: Table) -> dict[str, ColumnProfile]:
     """Profile every column of ``table``."""
-    return {attribute: profile_column(table, attribute)
-            for attribute in table.schema.attribute_names}
+    return {
+        attribute: profile_column(table, attribute) for attribute in table.schema.attribute_names
+    }
 
 
 def candidate_keys(table: Table, *, max_size: int = 2) -> list[tuple[str, ...]]:
@@ -119,9 +120,9 @@ def functional_dependency_confidence(table: Table, lhs: Sequence[str], rhs: str)
     return kept / considered
 
 
-def discover_functional_dependencies(table: Table, *, min_confidence: float = 0.98,
-                                     max_lhs_size: int = 2
-                                     ) -> list[tuple[tuple[str, ...], str, float]]:
+def discover_functional_dependencies(
+    table: Table, *, min_confidence: float = 0.98, max_lhs_size: int = 2
+) -> list[tuple[tuple[str, ...], str, float]]:
     """Approximate FDs ``lhs → rhs`` with confidence above ``min_confidence``.
 
     Trivial dependencies (rhs ∈ lhs) and dependencies whose LHS is a
@@ -142,8 +143,9 @@ def discover_functional_dependencies(table: Table, *, min_confidence: float = 0.
     return discovered
 
 
-def value_overlap(source: Table, source_attribute: str, target: Table,
-                  target_attribute: str) -> float:
+def value_overlap(
+    source: Table, source_attribute: str, target: Table, target_attribute: str
+) -> float:
     """Fraction of distinct source values contained in the target column."""
     source_values = source.distinct_values(source_attribute)
     if not source_values:
@@ -152,12 +154,12 @@ def value_overlap(source: Table, source_attribute: str, target: Table,
     return len(source_values & target_values) / len(source_values)
 
 
-def inclusion_dependency_coverage(source: Table, target: Table
-                                  ) -> dict[tuple[str, str], float]:
+def inclusion_dependency_coverage(source: Table, target: Table) -> dict[tuple[str, str], float]:
     """Pairwise inclusion coverage between all column pairs of two tables."""
     coverage: dict[tuple[str, str], float] = {}
     for source_attribute in source.schema.attribute_names:
         for target_attribute in target.schema.attribute_names:
             coverage[(source_attribute, target_attribute)] = value_overlap(
-                source, source_attribute, target, target_attribute)
+                source, source_attribute, target, target_attribute
+            )
     return coverage

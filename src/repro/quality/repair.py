@@ -40,8 +40,10 @@ class RepairAction:
     kind: str
 
     def __str__(self) -> str:
-        return (f"{self.relation}[{self.row_index}].{self.attribute}: "
-                f"{self.old_value!r} -> {self.new_value!r} ({self.kind}, {self.cfd_id})")
+        return (
+            f"{self.relation}[{self.row_index}].{self.attribute}: "
+            f"{self.old_value!r} -> {self.new_value!r} ({self.kind}, {self.cfd_id})"
+        )
 
 
 @dataclass
@@ -64,15 +66,25 @@ class RepairResult:
 class CFDRepairer:
     """Applies CFDs (with witnesses) to repair a table."""
 
-    def __init__(self, *, impute_missing: bool = True, fix_violations: bool = True,
-                 min_confidence: float = 0.0):
+    def __init__(
+        self,
+        *,
+        impute_missing: bool = True,
+        fix_violations: bool = True,
+        min_confidence: float = 0.0,
+    ):
         self._impute_missing = impute_missing
         self._fix_violations = fix_violations
         self._min_confidence = min_confidence
 
-    def repair(self, table: Table, cfds: Iterable[CFD], *,
-               witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
-               provenance: ProvenanceStore | None = None) -> RepairResult:
+    def repair(
+        self,
+        table: Table,
+        cfds: Iterable[CFD],
+        *,
+        witnesses: Mapping[str, Mapping[tuple, Any]] | None = None,
+        provenance: ProvenanceStore | None = None,
+    ) -> RepairResult:
         """Return a repaired copy of ``table`` and the actions performed.
 
         CFDs are applied in decreasing confidence order; once a cell has been
@@ -84,7 +96,8 @@ class CFDRepairer:
         witnesses = witnesses or {}
         ordered = sorted(
             (cfd for cfd in cfds if cfd.confidence >= self._min_confidence),
-            key=lambda cfd: (-cfd.confidence, -cfd.support, cfd.cfd_id))
+            key=lambda cfd: (-cfd.confidence, -cfd.support, cfd.cfd_id),
+        )
         rows = [list(values) for values in table.tuples()]
         schema = table.schema
         actions: list[RepairAction] = []
@@ -119,23 +132,29 @@ class CFDRepairer:
                     continue
                 values[rhs_position] = expected
                 touched.add((row_index, cfd.rhs))
-                actions.append(RepairAction(
-                    relation=table.name,
-                    row_index=row_index,
-                    attribute=cfd.rhs,
-                    old_value=current,
-                    new_value=expected,
-                    cfd_id=cfd.cfd_id,
-                    kind=kind,
-                ))
+                actions.append(
+                    RepairAction(
+                        relation=table.name,
+                        row_index=row_index,
+                        attribute=cfd.rhs,
+                        old_value=current,
+                        new_value=expected,
+                        cfd_id=cfd.cfd_id,
+                        kind=kind,
+                    )
+                )
         repaired = table.replace_rows([tuple(values) for values in rows])
         if provenance is not None and provenance.enabled and actions:
             row_keys = table.row_keys()
             for action in actions:
                 provenance.record_cell(
-                    table.name, row_keys[action.row_index], action.attribute,
-                    operator=OPERATOR_REPAIR, witnesses=(),
-                    detail=f"{action.cfd_id}:{action.kind}")
+                    table.name,
+                    row_keys[action.row_index],
+                    action.attribute,
+                    operator=OPERATOR_REPAIR,
+                    witnesses=(),
+                    detail=f"{action.cfd_id}:{action.kind}",
+                )
         return RepairResult(table=repaired, actions=actions)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.facts import Predicates, cfd_fact, metric_fact, repair_fact
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
+from repro.incremental.state import incremental_state
 from repro.provenance.model import provenance_store
 from repro.quality.cfd_learning import CFDLearner, CFDLearnerConfig, LearnedCFDs
 from repro.quality.metrics import evaluate_quality
@@ -49,12 +50,14 @@ class CFDLearningTransducer(Transducer):
             reference = kb.get_table(context_name)
             target_schema = kb.schema_of(target_relation)
             # Only translate attributes that exist in the target schema.
-            attribute_map = {name: name for name in reference.schema.attribute_names
-                             if name in target_schema}
+            attribute_map = {
+                name: name for name in reference.schema.attribute_names if name in target_schema
+            }
             if len(attribute_map) < 2:
                 continue
-            learned = self._learner.learn(reference, target_relation=target_relation,
-                                          attribute_map=attribute_map)
+            learned = self._learner.learn(
+                reference, target_relation=target_relation, attribute_map=attribute_map
+            )
             all_cfds.extend(learned.cfds)
             witnesses.update(learned.witnesses)
             learned_from.append(context_name)
@@ -100,10 +103,10 @@ class QualityMetricTransducer(Transducer):
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
-            shared_reference_key = [k for k in reference_key
-                                    if reference is not None and k in table.schema]
-            shared_master_key = [k for k in master_key
-                                 if master is not None and k in table.schema]
+            shared_reference_key = [
+                k for k in reference_key if reference is not None and k in table.schema
+            ]
+            shared_master_key = [k for k in master_key if master is not None and k in table.schema]
             report = evaluate_quality(
                 table,
                 reference=reference if shared_reference_key else None,
@@ -114,8 +117,8 @@ class QualityMetricTransducer(Transducer):
                 master_key=shared_master_key,
             )
             for criterion, value in report.as_dict().items():
-                added += int(kb.assert_tuple(
-                    metric_fact(subject_kind, relation, criterion, value)))
+                fact = metric_fact(subject_kind, relation, criterion, value)
+                added += int(kb.assert_tuple(fact))
             evaluated.append(relation)
         return TransducerResult(
             facts_added=added,
@@ -162,6 +165,11 @@ class DataRepairTransducer(Transducer):
         super().__init__()
         self._repairer = repairer or CFDRepairer()
 
+    @property
+    def repairer(self) -> CFDRepairer:
+        """The configured repairer (shared with the incremental engine)."""
+        return self._repairer
+
     def run(self, kb: KnowledgeBase) -> TransducerResult:
         learned: LearnedCFDs | None = kb.get_artifact(CFD_ARTIFACT_KEY)
         if not learned or not learned.cfds:
@@ -170,21 +178,31 @@ class DataRepairTransducer(Transducer):
         repaired_tables = []
         total_actions = 0
         store = provenance_store(kb)
+        state = incremental_state(kb, create=False)
         for relation, _mapping_id, _rows in kb.facts(Predicates.RESULT):
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
-            result = self._repairer.repair(table, learned.cfds, witnesses=learned.witnesses,
-                                           provenance=store)
+            result = self._repairer.repair(
+                table, learned.cfds, witnesses=learned.witnesses, provenance=store
+            )
             if not result.actions:
                 continue
             kb.update_table(result.table)
+            if state is not None:
+                state.observe_table_updated(result.table)
             repaired_tables.append(relation)
             total_actions += len(result.actions)
             for action in result.actions:
-                added += int(kb.assert_tuple(repair_fact(
-                    action.relation, str(action.row_index), action.attribute,
-                    action.old_value, action.new_value, action.cfd_id)))
+                fact = repair_fact(
+                    action.relation,
+                    str(action.row_index),
+                    action.attribute,
+                    action.old_value,
+                    action.new_value,
+                    action.cfd_id,
+                )
+                added += int(kb.assert_tuple(fact))
         return TransducerResult(
             facts_added=added,
             tables_written=repaired_tables,

@@ -40,11 +40,11 @@ __all__ = [
 
 #: Street-name building blocks (UK flavoured, like the paper's Manchester data).
 _STREET_STEMS = (
-    "Oak", "Elm", "Birch", "Cedar", "Willow", "Maple", "Ash", "Holly", "Rowan", "Hawthorn",
-    "Victoria", "Albert", "Church", "Mill", "Station", "Park", "Chapel", "School", "Bridge",
-    "Market", "King", "Queen", "Castle", "Garden", "Meadow", "Orchard", "River", "Spring",
-    "Granville", "Clarence", "Wellington", "Nelson", "Portland", "Cambridge", "Oxford",
-)
+    "Oak Elm Birch Cedar Willow Maple Ash Holly Rowan Hawthorn "
+    "Victoria Albert Church Mill Station Park Chapel School Bridge "
+    "Market King Queen Castle Garden Meadow Orchard River Spring "
+    "Granville Clarence Wellington Nelson Portland Cambridge Oxford"
+).split()
 _STREET_SUFFIXES = ("Street", "Road", "Avenue", "Lane", "Close", "Drive", "Grove", "Way")
 _CITIES = ("Manchester", "Salford", "Stockport", "Oldham", "Bury", "Rochdale", "Bolton")
 _PROPERTY_TYPES = ("detached", "semi-detached", "terraced", "flat", "bungalow")
@@ -56,24 +56,33 @@ _TYPE_BASE_PRICE = {
     "bungalow": 260_000.0,
 }
 _DESCRIPTION_FEATURES = (
-    "recently refurbished", "with a south-facing garden", "close to local schools",
-    "with off-road parking", "near the tram stop", "with a modern kitchen",
-    "offering spacious living accommodation", "in a quiet cul-de-sac",
-    "with original period features", "ideal for first-time buyers",
+    "recently refurbished",
+    "with a south-facing garden",
+    "close to local schools",
+    "with off-road parking",
+    "near the tram stop",
+    "with a modern kitchen",
+    "offering spacious living accommodation",
+    "in a quiet cul-de-sac",
+    "with original period features",
+    "ideal for first-time buyers",
 )
 
 
 def target_schema(name: str = "property") -> Schema:
     """The target schema of Figure 2(b)."""
-    return Schema(name, [
-        Attribute("type", DataType.STRING, description="property type"),
-        Attribute("description", DataType.STRING, description="free-text description"),
-        Attribute("street", DataType.STRING, description="street of the property"),
-        Attribute("postcode", DataType.STRING, description="UK postcode"),
-        Attribute("bedrooms", DataType.INTEGER, description="number of bedrooms"),
-        Attribute("price", DataType.FLOAT, description="asking price in GBP"),
-        Attribute("crimerank", DataType.INTEGER, description="crime rank of the area"),
-    ])
+    return Schema(
+        name,
+        [
+            Attribute("type", DataType.STRING, description="property type"),
+            Attribute("description", DataType.STRING, description="free-text description"),
+            Attribute("street", DataType.STRING, description="street of the property"),
+            Attribute("postcode", DataType.STRING, description="UK postcode"),
+            Attribute("bedrooms", DataType.INTEGER, description="number of bedrooms"),
+            Attribute("price", DataType.FLOAT, description="asking price in GBP"),
+            Attribute("crimerank", DataType.INTEGER, description="crime rank of the area"),
+        ],
+    )
 
 
 #: Site templates used when the scenario is generated as web pages.
@@ -123,25 +132,35 @@ class ScenarioConfig:
     #: Fraction of ground-truth properties present in the master list.
     master_coverage: float = 0.3
     #: Noise applied to the Rightmove extraction.
-    rightmove_noise: NoiseProfile = field(default_factory=lambda: NoiseProfile(
-        missing_rates={"description": 0.10, "bedrooms": 0.05, "postcode": 0.03, "type": 0.05},
-        bedroom_area_rate=0.15,
-        street_typo_rate=0.05,
-        postcode_format_rate=0.10,
-        type_variation_rate=0.20,
-    ))
+    rightmove_noise: NoiseProfile = field(
+        default_factory=lambda: NoiseProfile(
+            missing_rates={"description": 0.10, "bedrooms": 0.05, "postcode": 0.03, "type": 0.05},
+            bedroom_area_rate=0.15,
+            street_typo_rate=0.05,
+            postcode_format_rate=0.10,
+            type_variation_rate=0.20,
+        )
+    )
     #: Noise applied to the Onthemarket extraction.
-    onthemarket_noise: NoiseProfile = field(default_factory=lambda: NoiseProfile(
-        missing_rates={"description": 0.20, "bedrooms": 0.10, "postcode": 0.08,
-                       "street": 0.05, "type": 0.10},
-        bedroom_area_rate=0.02,
-        street_typo_rate=0.10,
-        postcode_format_rate=0.05,
-        type_variation_rate=0.10,
-    ))
+    onthemarket_noise: NoiseProfile = field(
+        default_factory=lambda: NoiseProfile(
+            missing_rates={
+                "description": 0.20,
+                "bedrooms": 0.10,
+                "postcode": 0.08,
+                "street": 0.05,
+                "type": 0.10,
+            },
+            bedroom_area_rate=0.02,
+            street_typo_rate=0.10,
+            postcode_format_rate=0.05,
+            type_variation_rate=0.10,
+        )
+    )
 
     def with_noise_scale(self, scale: float) -> "ScenarioConfig":
         """A copy with every noise rate multiplied by ``scale`` (capped at 0.95)."""
+
         def scaled(profile: NoiseProfile) -> NoiseProfile:
             return NoiseProfile(
                 missing_rates={k: min(0.95, v * scale) for k, v in profile.missing_rates.items()},
@@ -150,8 +169,12 @@ class ScenarioConfig:
                 postcode_format_rate=min(0.95, profile.postcode_format_rate * scale),
                 type_variation_rate=min(0.95, profile.type_variation_rate * scale),
             )
-        return replace(self, rightmove_noise=scaled(self.rightmove_noise),
-                       onthemarket_noise=scaled(self.onthemarket_noise))
+
+        return replace(
+            self,
+            rightmove_noise=scaled(self.rightmove_noise),
+            onthemarket_noise=scaled(self.onthemarket_noise),
+        )
 
 
 @dataclass
@@ -184,21 +207,25 @@ class RealEstateScenario:
         path and the direct-table path are interchangeable in experiments.
         """
         pages = {}
-        for table, template in ((self.rightmove, RIGHTMOVE_TEMPLATE),
-                                (self.onthemarket, ONTHEMARKET_TEMPLATE)):
+        for table, template in (
+            (self.rightmove, RIGHTMOVE_TEMPLATE),
+            (self.onthemarket, ONTHEMARKET_TEMPLATE),
+        ):
             records = []
             for row in table.rows():
                 record = row.to_dict()
                 # Render under canonical attribute names: the site template
                 # maps them to its own labels.
-                records.append({
-                    "price": record.get(_source_attr(table.name, "price")),
-                    "street": record.get(_source_attr(table.name, "street")),
-                    "postcode": record.get(_source_attr(table.name, "postcode")),
-                    "bedrooms": record.get(_source_attr(table.name, "bedrooms")),
-                    "type": record.get(_source_attr(table.name, "type")),
-                    "description": record.get(_source_attr(table.name, "description")),
-                })
+                records.append(
+                    {
+                        "price": record.get(_source_attr(table.name, "price")),
+                        "street": record.get(_source_attr(table.name, "street")),
+                        "postcode": record.get(_source_attr(table.name, "postcode")),
+                        "bedrooms": record.get(_source_attr(table.name, "bedrooms")),
+                        "type": record.get(_source_attr(table.name, "type")),
+                        "description": record.get(_source_attr(table.name, "description")),
+                    }
+                )
             pages[table.name] = SyntheticSite(template).render_pages(records)
         return pages
 
@@ -206,12 +233,20 @@ class RealEstateScenario:
 #: Attribute naming used by each source (Onthemarket deliberately uses
 #: different names so schema matching has real work to do).
 _RIGHTMOVE_ATTRS = {
-    "price": "price", "street": "street", "postcode": "postcode",
-    "bedrooms": "bedrooms", "type": "type", "description": "description",
+    "price": "price",
+    "street": "street",
+    "postcode": "postcode",
+    "bedrooms": "bedrooms",
+    "type": "type",
+    "description": "description",
 }
 _ONTHEMARKET_ATTRS = {
-    "price": "asking_price", "street": "address_street", "postcode": "post_code",
-    "bedrooms": "beds", "type": "property_type", "description": "summary",
+    "price": "asking_price",
+    "street": "address_street",
+    "postcode": "post_code",
+    "bedrooms": "beds",
+    "type": "property_type",
+    "description": "summary",
 }
 
 
@@ -268,8 +303,9 @@ def _generate_streets(rng: random.Random) -> list[tuple[str, str]]:
     return streets
 
 
-def _generate_postcodes(rng: random.Random, count: int,
-                        streets: list[tuple[str, str]]) -> list[dict]:
+def _generate_postcodes(
+    rng: random.Random, count: int, streets: list[tuple[str, str]]
+) -> list[dict]:
     """Postcode directory entries: postcode → (street, city).
 
     Each postcode belongs to exactly one street (so ``postcode → street`` and
@@ -278,14 +314,16 @@ def _generate_postcodes(rng: random.Random, count: int,
     """
     directory = []
     seen = set()
-    areas = ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M11", "M12", "M13",
-             "M14", "M15", "M16", "M19", "M20", "M21", "M22", "M23", "M25", "M27", "M28")
+    areas = (
+        "M1 M2 M3 M4 M5 M6 M7 M8 M9 M11 M12 M13 "
+        "M14 M15 M16 M19 M20 M21 M22 M23 M25 M27 M28"
+    ).split()
+    letters = "ABCDEFGHJLNPQRSTUWXYZ"
     attempts = 0
     while len(directory) < count and attempts < count * 50:
         attempts += 1
         area = rng.choice(areas)
-        suffix = f"{rng.randint(1, 9)}{rng.choice('ABCDEFGHJLNPQRSTUWXYZ')}" \
-                 f"{rng.choice('ABCDEFGHJLNPQRSTUWXYZ')}"
+        suffix = f"{rng.randint(1, 9)}{rng.choice(letters)}{rng.choice(letters)}"
         postcode = f"{area} {suffix}"
         if postcode in seen:
             continue
@@ -295,39 +333,46 @@ def _generate_postcodes(rng: random.Random, count: int,
     return directory
 
 
-def _generate_properties(rng: random.Random, count: int,
-                         postcode_directory: list[dict]) -> list[dict]:
+def _generate_properties(
+    rng: random.Random, count: int, postcode_directory: list[dict]
+) -> list[dict]:
     properties = []
     for index in range(count):
         entry = rng.choice(postcode_directory)
         property_type = rng.choice(_PROPERTY_TYPES)
         bedrooms = max(1, min(6, int(rng.gauss(3, 1.2))))
         base = _TYPE_BASE_PRICE[property_type]
-        price = round(max(60_000.0,
-                          base * (0.75 + 0.18 * bedrooms) * rng.uniform(0.85, 1.15)), -3)
-        description = (f"A {bedrooms} bedroom {property_type} property on "
-                       f"{entry['street']} {rng.choice(_DESCRIPTION_FEATURES)}")
-        properties.append({
-            "property_id": f"p{index:05d}",
-            "type": property_type,
-            "description": description,
-            "street": entry["street"],
-            "city": entry["city"],
-            "postcode": entry["postcode"],
-            "bedrooms": bedrooms,
-            "price": price,
-        })
+        price = round(max(60_000.0, base * (0.75 + 0.18 * bedrooms) * rng.uniform(0.85, 1.15)), -3)
+        description = (
+            f"A {bedrooms} bedroom {property_type} property on "
+            f"{entry['street']} {rng.choice(_DESCRIPTION_FEATURES)}"
+        )
+        properties.append(
+            {
+                "property_id": f"p{index:05d}",
+                "type": property_type,
+                "description": description,
+                "street": entry["street"],
+                "city": entry["city"],
+                "postcode": entry["postcode"],
+                "bedrooms": bedrooms,
+                "price": price,
+            }
+        )
     return properties
 
 
-def _deprivation_table(rng: random.Random, config: ScenarioConfig,
-                       postcode_directory: list[dict]) -> Table:
-    schema = Schema("deprivation", [
-        Attribute("postcode", DataType.STRING),
-        Attribute("crime", DataType.INTEGER, description="crime rank (1 = worst)"),
-    ])
-    covered = [entry for entry in postcode_directory
-               if rng.random() < config.deprivation_coverage]
+def _deprivation_table(
+    rng: random.Random, config: ScenarioConfig, postcode_directory: list[dict]
+) -> Table:
+    schema = Schema(
+        "deprivation",
+        [
+            Attribute("postcode", DataType.STRING),
+            Attribute("crime", DataType.INTEGER, description="crime rank (1 = worst)"),
+        ],
+    )
+    covered = [entry for entry in postcode_directory if rng.random() < config.deprivation_coverage]
     ranks = list(range(1, len(covered) + 1))
     rng.shuffle(ranks)
     rows = [(entry["postcode"], rank) for entry, rank in zip(covered, ranks)]
@@ -338,73 +383,98 @@ def _ground_truth_table(properties: list[dict], crime_by_postcode: dict) -> Tabl
     schema = target_schema("property_ground_truth")
     rows = []
     for record in properties:
-        rows.append((
-            record["type"],
-            record["description"],
-            record["street"],
-            record["postcode"],
-            record["bedrooms"],
-            record["price"],
-            crime_by_postcode.get(record["postcode"]),
-        ))
+        rows.append(
+            (
+                record["type"],
+                record["description"],
+                record["street"],
+                record["postcode"],
+                record["bedrooms"],
+                record["price"],
+                crime_by_postcode.get(record["postcode"]),
+            )
+        )
     return Table(schema, rows)
 
 
-def _address_table(rng: random.Random, config: ScenarioConfig,
-                   postcode_directory: list[dict]) -> Table:
-    schema = Schema("address", [
-        Attribute("street", DataType.STRING),
-        Attribute("city", DataType.STRING),
-        Attribute("postcode", DataType.STRING),
-    ])
-    rows = [(entry["street"], entry["city"], entry["postcode"])
-            for entry in postcode_directory if rng.random() < config.address_coverage]
+def _address_table(
+    rng: random.Random, config: ScenarioConfig, postcode_directory: list[dict]
+) -> Table:
+    schema = Schema(
+        "address",
+        [
+            Attribute("street", DataType.STRING),
+            Attribute("city", DataType.STRING),
+            Attribute("postcode", DataType.STRING),
+        ],
+    )
+    rows = [
+        (entry["street"], entry["city"], entry["postcode"])
+        for entry in postcode_directory
+        if rng.random() < config.address_coverage
+    ]
     return Table(schema, rows)
 
 
-def _master_table(rng: random.Random, config: ScenarioConfig,
-                  properties: list[dict]) -> Table:
-    schema = Schema("master_properties", [
-        Attribute("street", DataType.STRING),
-        Attribute("postcode", DataType.STRING),
-        Attribute("price", DataType.FLOAT),
-    ])
-    rows = [(record["street"], record["postcode"], record["price"])
-            for record in properties if rng.random() < config.master_coverage]
+def _master_table(rng: random.Random, config: ScenarioConfig, properties: list[dict]) -> Table:
+    schema = Schema(
+        "master_properties",
+        [
+            Attribute("street", DataType.STRING),
+            Attribute("postcode", DataType.STRING),
+            Attribute("price", DataType.FLOAT),
+        ],
+    )
+    rows = [
+        (record["street"], record["postcode"], record["price"])
+        for record in properties
+        if rng.random() < config.master_coverage
+    ]
     return Table(schema, rows)
 
 
-def _portal_table(rng: random.Random, config: ScenarioConfig, properties: list[dict],
-                  portal: str) -> Table:
-    coverage = (config.rightmove_coverage if portal == "rightmove"
-                else config.onthemarket_coverage)
-    noise = (config.rightmove_noise if portal == "rightmove"
-             else config.onthemarket_noise)
+def _portal_table(
+    rng: random.Random, config: ScenarioConfig, properties: list[dict], portal: str
+) -> Table:
+    coverage = config.rightmove_coverage if portal == "rightmove" else config.onthemarket_coverage
+    noise = config.rightmove_noise if portal == "rightmove" else config.onthemarket_noise
     listed = [record for record in properties if rng.random() < coverage]
     injector = NoiseInjector(noise, seed=rng.randrange(1 << 30))
-    clean_records = [{
-        "price": record["price"],
-        "street": record["street"],
-        "postcode": record["postcode"],
-        "bedrooms": record["bedrooms"],
-        "type": record["type"],
-        "description": record["description"],
-    } for record in listed]
+    clean_records = [
+        {
+            "price": record["price"],
+            "street": record["street"],
+            "postcode": record["postcode"],
+            "bedrooms": record["bedrooms"],
+            "type": record["type"],
+            "description": record["description"],
+        }
+        for record in listed
+    ]
     noisy_records = injector.corrupt_records(clean_records)
 
     attrs = _RIGHTMOVE_ATTRS if portal == "rightmove" else _ONTHEMARKET_ATTRS
-    schema = Schema(portal, [
-        Attribute(attrs["price"], DataType.FLOAT),
-        Attribute(attrs["street"], DataType.STRING),
-        Attribute(attrs["postcode"], DataType.STRING),
-        Attribute(attrs["bedrooms"], DataType.INTEGER),
-        Attribute(attrs["type"], DataType.STRING),
-        Attribute(attrs["description"], DataType.STRING),
-    ])
+    schema = Schema(
+        portal,
+        [
+            Attribute(attrs["price"], DataType.FLOAT),
+            Attribute(attrs["street"], DataType.STRING),
+            Attribute(attrs["postcode"], DataType.STRING),
+            Attribute(attrs["bedrooms"], DataType.INTEGER),
+            Attribute(attrs["type"], DataType.STRING),
+            Attribute(attrs["description"], DataType.STRING),
+        ],
+    )
     rows = []
     for record in noisy_records:
-        rows.append((
-            record["price"], record["street"], record["postcode"],
-            record["bedrooms"], record["type"], record["description"],
-        ))
+        rows.append(
+            (
+                record["price"],
+                record["street"],
+                record["postcode"],
+                record["bedrooms"],
+                record["type"],
+                record["description"],
+            )
+        )
     return Table(schema, rows)

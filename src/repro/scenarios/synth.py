@@ -81,6 +81,14 @@ class SynthConfig:
     reference_size: float = 1.0
     #: Fraction of entities present in the master-data table.
     master_coverage: float = 0.25
+    #: Cross-family source mixing: extra *distractor* sources generated from
+    #: these other families' schemas are registered alongside the scenario's
+    #: own sources. They describe unrelated entities in unrelated schemas,
+    #: so matching/selection must keep them out of the result — the
+    #: robustness workload of heterogeneous source lakes.
+    mix_families: tuple[str, ...] = ()
+    #: Entities per mixed-in distractor source (0 → entities // 10).
+    mix_entities: int = 0
     #: Scenario label; defaults to ``{family}-s{seed}``.
     name: str | None = None
 
@@ -115,6 +123,14 @@ class SynthConfig:
             value = getattr(self, knob)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{knob} must be within [0, 1], got {value}")
+        for mixed in self.mix_families:
+            if mixed not in _FAMILIES:
+                raise ValueError(
+                    f"unknown mix family {mixed!r}; "
+                    f"registered families: {', '.join(family_names())}"
+                )
+        if self.mix_entities < 0:
+            raise ValueError(f"mix_entities must be >= 0, got {self.mix_entities}")
 
 
 @dataclass(frozen=True)
@@ -161,6 +177,16 @@ class ScenarioFamily:
     source_prefix: str
     make_vocab: Callable[[random.Random, SynthConfig], dict]
     make_entity: Callable[[random.Random, int, dict], dict[str, Any]]
+    #: Join-shaped families: target attributes listed here are *never*
+    #: carried by the per-entity sources — they are only reachable by
+    #: joining the ``lookup_relation`` source on ``lookup_key`` (like the
+    #: paper's real-estate Deprivation table, which contributes the crime
+    #: rank only via a postcode join). Empty tuple → no lookup source.
+    lookup_fields: tuple[str, ...] = ()
+    #: The target attribute the lookup source joins on.
+    lookup_key: str = ""
+    #: Relation name of the generated lookup source.
+    lookup_relation: str = ""
 
     def target_schema(self) -> Schema:
         """The family's target schema."""
@@ -266,10 +292,19 @@ def _generate_from_family(family: ScenarioFamily, config: SynthConfig) -> Scenar
         truth_schema,
         [tuple(entity[spec.name] for spec in family.fields) for entity in entities],
     )
+    # Join-shaped families: lookup-only attributes are stripped from the
+    # per-entity sources, so the wrangle can only populate them by joining
+    # the lookup source.
+    source_fields = tuple(
+        spec for spec in family.fields if spec.name not in set(family.lookup_fields)
+    )
     sources = [
-        _source_table(rng, family, config, entities, index)
+        _source_table(rng, family, config, entities, index, fields=source_fields)
         for index in range(config.sources)
     ]
+    if family.lookup_fields and family.lookup_relation:
+        sources.append(_lookup_table(family, vocab))
+    sources.extend(_mixed_sources(config))
     reference = _reference_table(rng, family, config, vocab)
     master = _master_table(rng, family, config, entities)
 
@@ -288,17 +323,62 @@ def _generate_from_family(family: ScenarioFamily, config: SynthConfig) -> Scenar
     )
 
 
+def _lookup_table(family: ScenarioFamily, vocab: Mapping[str, Any]) -> Table:
+    """The join-only lookup source (one clean row per directory entry).
+
+    Lookup sources model curated registries (the Deprivation table, a depot
+    register): complete, noise-free, keyed by ``lookup_key``. Everything the
+    per-entity sources lack about the lookup attributes must come from here,
+    through a generated join mapping.
+    """
+    specs = {spec.name: spec for spec in family.fields}
+    columns = (family.lookup_key, *family.lookup_fields)
+    schema = Schema(family.lookup_relation, [specs[name].attribute() for name in columns])
+    seen: set[Any] = set()
+    rows = []
+    for entry in vocab["directory"]:
+        key = entry[family.lookup_key]
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append(tuple(entry[name] for name in columns))
+    return Table(schema, rows)
+
+
+def _mixed_sources(config: SynthConfig) -> list[Table]:
+    """Distractor sources from other families (cross-family source mixing)."""
+    mixed: list[Table] = []
+    for position, family_name in enumerate(config.mix_families):
+        entities = config.mix_entities or max(10, config.entities // 10)
+        distractor = generate_synthetic(
+            SynthConfig(
+                family=family_name,
+                seed=config.seed + 7207 * (position + 1),
+                entities=entities,
+                sources=1,
+                noise=config.noise,
+                missing=config.missing,
+                schema_drift=config.schema_drift,
+            )
+        )
+        for table in distractor.sources:
+            mixed.append(table.rename(f"{table.name}_mix{position + 1}"))
+    return mixed
+
+
 def _source_table(
     rng: random.Random,
     family: ScenarioFamily,
     config: SynthConfig,
     entities: Sequence[Mapping[str, Any]],
     index: int,
+    *,
+    fields: tuple[FieldSpec, ...] | None = None,
 ) -> Table:
     """One noisy, schema-drifted source covering a subset of the entities."""
     listed = [entity for entity in entities if rng.random() < config.source_coverage]
     # Per-source column order and attribute names drift independently.
-    ordered = list(family.fields)
+    ordered = list(fields if fields is not None else family.fields)
     rng.shuffle(ordered)
     drifted: dict[str, str] = {}
     for spec in ordered:
@@ -624,6 +704,78 @@ ORG_DIRECTORY = ScenarioFamily(
 )
 
 
+# -- family: shipment_tracking (join-shaped: depot attributes only via join) --
+
+_SHIPMENT_REGIONS = "north-west yorkshire midlands south-east scotland wales".split()
+_SHIPMENT_CITIES = (
+    "manchester leeds birmingham london glasgow cardiff "
+    "liverpool sheffield newcastle bristol nottingham"
+).split()
+_SHIPMENT_CARRIERS = "swiftline roadrunner parcelforge bluecrate duskfreight".split()
+_SHIPMENT_MANAGERS = (
+    "o.adeyemi l.kowalski m.fernandez r.macleod t.nguyen "
+    "s.okonkwo a.lindqvist d.murphy"
+).split()
+
+
+def _shipment_vocab(rng: random.Random, config: SynthConfig) -> dict:
+    directory = []
+    for index in range(_directory_size(config.entities)):
+        directory.append(
+            {
+                "origin_depot": f"DEP-{index:04d}",
+                "region": rng.choice(_SHIPMENT_REGIONS),
+                "depot_manager": rng.choice(_SHIPMENT_MANAGERS),
+            }
+        )
+    return {"directory": directory}
+
+
+def _shipment_entity(rng: random.Random, index: int, vocab: Mapping[str, Any]) -> dict:
+    entry = rng.choice(vocab["directory"])
+    status = rng.random()
+    return {
+        "tracking_id": f"TRK{index:08d}",
+        "origin_depot": entry["origin_depot"],
+        "region": entry["region"],
+        "depot_manager": entry["depot_manager"],
+        "dest_city": rng.choice(_SHIPMENT_CITIES),
+        "weight_kg": round(rng.uniform(0.2, 120.0), 2),
+        "carrier": rng.choice(_SHIPMENT_CARRIERS),
+        "status": "delivered" if status < 0.7 else ("in_transit" if status < 0.95 else "lost"),
+    }
+
+
+#: A join-heavy workload: the shipping feeds know nothing about depots
+#: beyond their code, so ``region`` and ``depot_manager`` can only be
+#: populated by joining the ``depots`` registry on ``origin_depot`` — the
+#: synthetic analogue of the paper's real-estate Deprivation table.
+SHIPMENT_TRACKING = ScenarioFamily(
+    name="shipment_tracking",
+    target_relation="shipment",
+    fields=(
+        FieldSpec("tracking_id", DataType.STRING, ("shipment_ref", "parcel_id"), "tracking key"),
+        FieldSpec("origin_depot", DataType.STRING, ("depot_code", "from_depot"), "origin depot"),
+        FieldSpec("region", DataType.STRING, ("depot_region", "area"), "depot region"),
+        FieldSpec("depot_manager", DataType.STRING, ("site_manager", "manager"), "depot manager"),
+        FieldSpec("dest_city", DataType.STRING, ("destination", "to_city"), "destination city"),
+        FieldSpec("weight_kg", DataType.FLOAT, ("weight", "parcel_kg"), "parcel weight"),
+        FieldSpec("carrier", DataType.STRING, ("courier", "carrier_name"), "carrier"),
+        FieldSpec("status", DataType.STRING, ("shipment_status", "state"), "delivery status"),
+    ),
+    evaluation_key=("tracking_id",),
+    reference_fields=("origin_depot", "region"),
+    reference_relation="depot_directory",
+    master_fields=("tracking_id", "dest_city", "weight_kg"),
+    source_prefix="shipfeed",
+    make_vocab=_shipment_vocab,
+    make_entity=_shipment_entity,
+    lookup_fields=("region", "depot_manager"),
+    lookup_key="origin_depot",
+    lookup_relation="depots",
+)
+
+
 # -- family: real_estate (adapter over the hand-written scenario) -------------
 
 #: The noise knob maps onto the real-estate noise profiles relative to their
@@ -655,7 +807,7 @@ def _real_estate_builder(config: SynthConfig) -> Scenario:
         family="real_estate",
         seed=config.seed,
         target=generated.target,
-        sources=generated.sources(),
+        sources=generated.sources() + _mixed_sources(config),
         ground_truth=generated.ground_truth,
         evaluation_key=("postcode", "price"),
         reference=generated.address_reference,
@@ -667,4 +819,5 @@ def _real_estate_builder(config: SynthConfig) -> Scenario:
 register_family(PRODUCT_CATALOG.name, PRODUCT_CATALOG)
 register_family(SENSOR_LOG.name, SENSOR_LOG)
 register_family(ORG_DIRECTORY.name, ORG_DIRECTORY)
+register_family(SHIPMENT_TRACKING.name, SHIPMENT_TRACKING)
 register_family("real_estate", _real_estate_builder)

@@ -35,7 +35,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.relational.table import Table
 from repro.scenarios.base import Scenario
@@ -74,6 +74,12 @@ class BatchConfig:
     use_data_context: bool = True
     #: Simulated feedback annotations per scenario (0 skips the phase).
     feedback_budget: int = 0
+    #: How many feedback rounds each scenario runs (annotate → revise →
+    #: re-wrangle, ``feedback_budget`` annotations per round).
+    feedback_rounds: int = 1
+    #: Whether feedback rounds go through the incremental re-wrangling
+    #: engine (:meth:`Wrangler.apply_feedback`) instead of full re-runs.
+    incremental_feedback: bool = False
     #: Orchestration step budget per scenario.
     max_steps: int = 200
     #: Whether why-provenance is recorded while wrangling (lineage-aware
@@ -121,6 +127,11 @@ class ScenarioRunResult:
     #: tracking was disabled. Picklable, so process-pool workers ship it
     #: home with the rest of the result.
     provenance: dict[str, Any] | None = None
+    #: How many feedback rounds the incremental engine patched in place
+    #: (0 when feedback ran through full re-orchestration).
+    incremental_patches: int = 0
+    #: Whether this result was reloaded from a checkpoint (not recomputed).
+    checkpointed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -165,7 +176,34 @@ class ScenarioRunResult:
             "worker": self.worker,
             "error": self.error,
             "provenance": dict(self.provenance) if self.provenance is not None else None,
+            "incremental_patches": self.incremental_patches,
+            "checkpointed": self.checkpointed,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioRunResult":
+        """Rebuild a result from its :meth:`as_dict` rendering."""
+        provenance = payload.get("provenance")
+        return cls(
+            name=str(payload["name"]),
+            family=str(payload["family"]),
+            seed=int(payload["seed"]),
+            entities=int(payload["entities"]),
+            source_count=int(payload["source_count"]),
+            source_rows=int(payload["source_rows"]),
+            phases=tuple(payload.get("phases", ())),
+            rows=int(payload["rows"]),
+            steps=int(payload["steps"]),
+            manual_actions=int(payload["manual_actions"]),
+            quality={str(k): float(v) for k, v in dict(payload.get("quality", {})).items()},
+            fingerprint=str(payload["fingerprint"]),
+            seconds=float(payload.get("seconds", 0.0)),
+            worker=int(payload.get("worker", 0)),
+            error=payload.get("error"),
+            provenance=dict(provenance) if provenance is not None else None,
+            incremental_patches=int(payload.get("incremental_patches", 0)),
+            checkpointed=bool(payload.get("checkpointed", False)),
+        )
 
 
 @dataclass
@@ -303,15 +341,36 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
             wrangler.add_master_data(scenario.master)
         phases.append("data_context")
         result = wrangler.run("data_context", ground_truth=truth, ground_truth_key=key)
+    incremental_patches = 0
     if batch.feedback_budget > 0:
-        wrangler.simulate_feedback(
-            truth,
-            budget=batch.feedback_budget,
-            seed=scenario.seed,
-            key=key,
-        )
-        phases.append("feedback")
-        result = wrangler.run("feedback", ground_truth=truth, ground_truth_key=key)
+        from repro.feedback.annotations import simulate_feedback as simulate
+
+        for round_number in range(max(1, batch.feedback_rounds)):
+            table = wrangler.result()
+            if table is None:
+                break
+            annotations = simulate(
+                table,
+                truth,
+                key,
+                budget=batch.feedback_budget,
+                seed=scenario.seed + round_number,
+                strategy="targeted",
+                id_prefix="sim" if round_number == 0 else f"sim_r{round_number}",
+            )
+            if batch.incremental_feedback:
+                result = wrangler.apply_feedback(
+                    annotations,
+                    incremental=True,
+                    ground_truth=truth,
+                    ground_truth_key=key,
+                )
+                if result.details.get("incremental", {}).get("applied"):
+                    incremental_patches += 1
+            else:
+                wrangler.add_feedback(annotations)
+                result = wrangler.run("feedback", ground_truth=truth, ground_truth_key=key)
+            phases.append("feedback" if round_number == 0 else f"feedback{round_number + 1}")
 
     quality = dict(result.quality.as_dict()) if result.quality is not None else {}
     if result.quality is not None:
@@ -335,6 +394,7 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
         seconds=time.perf_counter() - started,
         worker=os.getpid(),
         provenance=provenance_summary,
+        incremental_patches=incremental_patches,
     )
 
 
@@ -365,6 +425,77 @@ def run_scenario(config: SynthConfig, batch: BatchConfig | None = None) -> Scena
         )
 
 
+# -- checkpointing ------------------------------------------------------------
+
+
+def _shard_fingerprint(config: SynthConfig, batch: BatchConfig) -> str:
+    """A deterministic fingerprint of one shard (scenario config + the
+    batch knobs that shape its result). Executor/worker knobs are excluded:
+    they affect scheduling, not outcomes."""
+    digest = hashlib.sha256()
+    digest.update(repr(config).encode("utf-8"))
+    digest.update(
+        repr(
+            (
+                batch.use_data_context,
+                batch.feedback_budget,
+                batch.feedback_rounds,
+                batch.incremental_feedback,
+                batch.max_steps,
+                batch.track_provenance,
+            )
+        ).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def _checkpoint_path(directory: str, config: SynthConfig, fingerprint: str) -> str:
+    safe_label = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in config.label())
+    return os.path.join(directory, f"{safe_label}-{fingerprint[:16]}.json")
+
+
+def _load_checkpoint(
+    directory: str, config: SynthConfig, batch: BatchConfig
+) -> ScenarioRunResult | None:
+    """A completed shard result, if a fingerprint-matching checkpoint exists.
+
+    Anything suspicious — unreadable file, wrong fingerprint (the config or
+    batch knobs changed since the checkpoint was written), failed result —
+    means the shard re-runs; resuming must never resurrect stale results.
+    """
+    fingerprint = _shard_fingerprint(config, batch)
+    path = _checkpoint_path(directory, config, fingerprint)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("shard_fingerprint") != fingerprint:
+        return None
+    try:
+        result = ScenarioRunResult.from_dict(payload["result"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not result.ok:
+        return None
+    return replace(result, checkpointed=True)
+
+
+def _write_checkpoint(
+    directory: str, config: SynthConfig, batch: BatchConfig, result: ScenarioRunResult
+) -> None:
+    """Persist one completed shard (failures are not checkpointed)."""
+    if not result.ok:
+        return
+    fingerprint = _shard_fingerprint(config, batch)
+    path = _checkpoint_path(directory, config, fingerprint)
+    payload = {"shard_fingerprint": fingerprint, "result": result.as_dict()}
+    temporary = f"{path}.tmp.{os.getpid()}"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    os.replace(temporary, path)
+
+
 # -- batch execution ----------------------------------------------------------
 
 
@@ -389,6 +520,7 @@ def iter_run(
     *,
     workers: int | None = None,
     executor: str | None = None,
+    checkpoint_dir: str | None = None,
 ):
     """Run many scenarios, yielding each :class:`ScenarioRunResult` as it lands.
 
@@ -400,32 +532,68 @@ def iter_run(
     discard) results as they arrive. ``workers``/``executor`` override the
     corresponding :class:`BatchConfig` fields.
 
+    With ``checkpoint_dir``, every completed shard is persisted there and a
+    restarted sweep reloads it instead of recomputing — verified against a
+    fingerprint of the scenario config and the result-shaping batch knobs,
+    so an edited sweep never resumes from stale shards. Reloaded results are
+    flagged ``checkpointed=True``; failed shards always re-run.
+
     Closing the generator early shuts the worker pool down (in-flight
     scenarios finish, queued ones are abandoned where the platform allows).
     """
     batch = _resolve_batch(batch, workers, executor)
     config_list = list(configs)
-    effective_workers = batch.resolve_workers(len(config_list))
-    run_one = functools.partial(run_scenario, batch=batch)
-
     if not config_list:
         return
-    if batch.executor == "serial" or effective_workers == 1:
-        for config in config_list:
-            yield run_one(config)
-    elif batch.executor == "process":
-        # Prefer fork so workers inherit the parent's state — in particular
-        # scenario families registered at runtime via ``register_family``.
-        # Under spawn/forkserver (no fork on the platform), workers re-import
-        # the modules, so custom families must be registered at import time.
-        context = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=effective_workers, mp_context=context) as pool:
-            yield from pool.map(run_one, config_list)
+
+    cached: dict[int, ScenarioRunResult] = {}
+    pending: list[tuple[int, SynthConfig]] = []
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        for position, config in enumerate(config_list):
+            result = _load_checkpoint(checkpoint_dir, config, batch)
+            if result is not None:
+                cached[position] = result
+            else:
+                pending.append((position, config))
     else:
-        with ThreadPoolExecutor(max_workers=effective_workers) as pool:
-            yield from pool.map(run_one, config_list)
+        pending = list(enumerate(config_list))
+
+    effective_workers = batch.resolve_workers(max(1, len(pending)))
+    run_one = functools.partial(run_scenario, batch=batch)
+    pending_configs = [config for _position, config in pending]
+
+    def fresh_results():
+        if not pending_configs:
+            return
+        if batch.executor == "serial" or effective_workers == 1:
+            for config in pending_configs:
+                yield run_one(config)
+        elif batch.executor == "process":
+            # Prefer fork so workers inherit the parent's state — in
+            # particular scenario families registered at runtime via
+            # ``register_family``. Under spawn/forkserver (no fork on the
+            # platform), workers re-import the modules, so custom families
+            # must be registered at import time.
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=effective_workers, mp_context=context) as pool:
+                yield from pool.map(run_one, pending_configs)
+        else:
+            with ThreadPoolExecutor(max_workers=effective_workers) as pool:
+                yield from pool.map(run_one, pending_configs)
+
+    fresh = fresh_results()
+    fresh_positions = {position for position, _config in pending}
+    for position, config in enumerate(config_list):
+        if position in fresh_positions:
+            result = next(fresh)
+            if checkpoint_dir is not None:
+                _write_checkpoint(checkpoint_dir, config, batch, result)
+        else:
+            result = cached[position]
+        yield result
 
 
 def run_batch(
@@ -434,6 +602,7 @@ def run_batch(
     *,
     workers: int | None = None,
     executor: str | None = None,
+    checkpoint_dir: str | None = None,
 ) -> BatchReport:
     """Run many scenarios and aggregate their results.
 
@@ -444,7 +613,7 @@ def run_batch(
     batch = _resolve_batch(batch, workers, executor)
     config_list = list(configs)
     started = time.perf_counter()
-    results = list(iter_run(config_list, batch))
+    results = list(iter_run(config_list, batch, checkpoint_dir=checkpoint_dir))
     wall = time.perf_counter() - started
     return BatchReport(
         results=results,
@@ -502,6 +671,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulated feedback annotations per scenario (0 skips the phase)",
     )
     parser.add_argument(
+        "--feedback-rounds",
+        type=int,
+        default=1,
+        help="feedback rounds per scenario (annotate, revise, re-wrangle)",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="apply feedback through the incremental re-wrangling engine "
+        "instead of full re-orchestration",
+    )
+    parser.add_argument(
+        "--mix-families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="mix distractor sources from these families into every scenario",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist completed shards here; a restarted sweep reloads them "
+        "(fingerprint-verified) instead of recomputing",
+    )
+    parser.add_argument(
         "--no-data-context", action="store_true", help="skip the data-context phase"
     )
     parser.add_argument(
@@ -533,16 +729,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         missing_pattern=args.missing_pattern,
         schema_drift=args.drift,
         reference_size=args.reference_size,
+        mix_families=tuple(args.mix_families) if args.mix_families else (),
     )
     batch = BatchConfig(
         workers=args.workers,
         executor=args.executor,
         use_data_context=not args.no_data_context,
         feedback_budget=args.feedback_budget,
+        feedback_rounds=args.feedback_rounds,
+        incremental_feedback=args.incremental,
         max_steps=args.max_steps,
         track_provenance=not args.no_provenance,
     )
-    report = run_batch(configs, batch)
+    report = run_batch(configs, batch, checkpoint_dir=args.checkpoint_dir)
 
     if not args.quiet:
         for result in report.results:

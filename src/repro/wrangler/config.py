@@ -39,3 +39,8 @@ class WranglerConfig:
     #: (lineage-aware explanations and feedback). Default on; switch off to
     #: benchmark the pipeline without lineage overhead.
     track_provenance: bool = True
+    #: Whether the incremental re-wrangling engine keeps pipeline snapshots
+    #: so :meth:`~repro.wrangler.pipeline.Wrangler.apply_feedback` can patch
+    #: results in place instead of re-running the whole pipeline. Requires
+    #: provenance tracking; the engine falls back to full runs without it.
+    enable_incremental: bool = True

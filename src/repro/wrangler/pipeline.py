@@ -41,6 +41,9 @@ from repro.extraction.wrapper import SiteWrapper
 from repro.feedback.annotations import FeedbackCollector, simulate_feedback
 from repro.feedback.transducers import FeedbackRepairTransducer, MappingEvaluationTransducer
 from repro.fusion.transducers import DataFusionTransducer, DuplicateDetectionTransducer
+from repro.incremental.delta import ChangeSet, SourceRowsDelta
+from repro.incremental.rewrangle import IncrementalWrangler
+from repro.incremental.state import IncrementalState, incremental_state
 from repro.mapping.model import SchemaMapping
 from repro.mapping.transducers import (
     MAPPINGS_ARTIFACT_KEY,
@@ -120,6 +123,12 @@ class Wrangler:
         # (or skips, when tracking is off) against the same instance.
         self._provenance = provenance_store(
             self._kb, enabled=self._config.track_provenance)
+        # Seed the incremental-state artifact likewise: the pipeline
+        # transducers snapshot their intermediate stages into it, which is
+        # what lets apply_feedback patch results instead of re-running.
+        self._incremental = incremental_state(
+            self._kb,
+            enabled=self._config.enable_incremental and self._config.track_provenance)
 
     # -- accessors -------------------------------------------------------------
 
@@ -152,6 +161,11 @@ class Wrangler:
     def provenance(self) -> ProvenanceStore:
         """The session's lineage store (disabled when tracking is off)."""
         return self._provenance
+
+    @property
+    def incremental(self) -> IncrementalState:
+        """The incremental-engine snapshots (disabled when turned off)."""
+        return self._incremental
 
     # -- configuration of the wrangling task (Figure 3 interactions) -------------
 
@@ -231,18 +245,128 @@ class Wrangler:
                                         budget=budget, seed=seed, strategy=strategy)
         return self.add_feedback(annotations)
 
+    # -- incremental revisions (the cheap side of the feedback loop) -------------
+
+    def apply_feedback(self, annotations: Iterable[Feedback] | None = None, *,
+                       incremental: bool | None = None,
+                       ground_truth: Table | None = None,
+                       ground_truth_key: Sequence[str] = ("postcode", "price"),
+                       evaluate: bool = True) -> WranglingResult:
+        """Assert feedback and bring the result up to date — incrementally.
+
+        This is the feedback loop's fast path: instead of re-running the
+        whole pipeline (the behaviour of :meth:`run`, still available via
+        ``incremental=False``), the annotations become a typed change set,
+        lineage resolves them to the exact dirty rows, and only those rows
+        are re-derived — re-executed, re-fused, re-repaired — with the
+        result table, the provenance store and the derived facts patched in
+        place. Revisions the patch cannot represent (a flipped mapping
+        selection, structural changes) automatically fall back to the full
+        orchestrated re-run, so the outcome is always the same as
+        ``incremental=False``; only the cost differs.
+
+        ``incremental`` defaults to the ``enable_incremental`` config flag.
+        The outcome's :class:`~repro.wrangler.result.WranglingResult` carries
+        the engine's report under ``details["incremental"]``.
+        """
+        if annotations is not None:
+            self.add_feedback(annotations)
+        if incremental is None:
+            incremental = self._config.enable_incremental
+        if not incremental:
+            return self.run("feedback", ground_truth=ground_truth,
+                            ground_truth_key=ground_truth_key, evaluate=evaluate)
+        from repro.provenance.feedback import LineageFeedbackPropagator
+
+        change_set = LineageFeedbackPropagator().emit_deltas(
+            self._kb, seen=self._incremental.seen_feedback)
+        return self.apply_change_set(change_set, phase="feedback",
+                                     ground_truth=ground_truth,
+                                     ground_truth_key=ground_truth_key,
+                                     evaluate=evaluate)
+
+    def apply_change_set(self, change_set: ChangeSet, *, phase: str = "revision",
+                         ground_truth: Table | None = None,
+                         ground_truth_key: Sequence[str] = ("postcode", "price"),
+                         evaluate: bool = True) -> WranglingResult:
+        """Apply an arbitrary change set through the incremental engine.
+
+        Falls back to a full orchestrated run when the engine reports the
+        revision is not patchable (and after any engine error — the full
+        pipeline rebuilds whatever a partial patch touched).
+        """
+        engine = IncrementalWrangler(self._kb, registry=self._registry)
+        outcome = engine.apply(change_set)
+        if not outcome.applied:
+            result = self.run(phase, ground_truth=ground_truth,
+                              ground_truth_key=ground_truth_key, evaluate=evaluate)
+            result.details["incremental"] = outcome.describe()
+            return result
+        table = self.result()
+        quality = None
+        if evaluate and table is not None:
+            quality = self.evaluate(ground_truth=ground_truth, key=ground_truth_key)
+        return WranglingResult(
+            phase=f"{phase}(incremental)",
+            table=table,
+            selected_mapping=self.selected_mapping(),
+            quality=quality,
+            trace=self.trace,
+            steps_executed=0,
+            details={
+                "kb_facts": self._kb.count(),
+                "kb_revision": self._kb.revision,
+                "incremental": outcome.describe(),
+            },
+            provenance=self._provenance if self._provenance.enabled else None,
+        )
+
+    def append_source_rows(self, relation: str, rows: Iterable[Sequence], *,
+                           incremental: bool | None = None,
+                           ground_truth: Table | None = None,
+                           ground_truth_key: Sequence[str] = ("postcode", "price")
+                           ) -> WranglingResult:
+        """Append rows to a registered source and update the result.
+
+        Existing ``source:index`` row identities stay valid, so the
+        incremental engine only executes the new driving rows (plus any
+        existing rows a new lookup partner unlocks) instead of re-running
+        the pipeline over the whole source.
+        """
+        appended = tuple(tuple(row) for row in rows)
+        table = self._kb.get_table(relation)
+        self._kb.update_table(table.extend(appended))
+        if incremental is None:
+            incremental = self._config.enable_incremental
+        change_set = ChangeSet(
+            deltas=(SourceRowsDelta(relation=relation, appended=appended),),
+            origin=f"append {len(appended)} rows to {relation}",
+        )
+        if not incremental:
+            return self.run("revision", ground_truth=ground_truth,
+                            ground_truth_key=ground_truth_key)
+        return self.apply_change_set(change_set, phase="revision",
+                                     ground_truth=ground_truth,
+                                     ground_truth_key=ground_truth_key)
+
     # -- running -----------------------------------------------------------------------
 
     def run(self, phase: str = "", *, ground_truth: Table | None = None,
-            ground_truth_key: Sequence[str] = ("postcode", "price")) -> WranglingResult:
-        """Orchestrate to quiescence and package the outcome of this stage."""
+            ground_truth_key: Sequence[str] = ("postcode", "price"),
+            evaluate: bool = True) -> WranglingResult:
+        """Orchestrate to quiescence and package the outcome of this stage.
+
+        ``evaluate=False`` skips the quality report (an O(rows) diagnostic),
+        leaving ``result.quality`` as None — useful when the caller only
+        needs the materialised table (benchmark loops, validation harnesses).
+        """
         steps_before = len(self.trace)
         self._orchestrator.set_phase(phase)
         self._orchestrator.run()
         steps_executed = len(self.trace) - steps_before
         table = self.result()
         quality = None
-        if table is not None:
+        if evaluate and table is not None:
             quality = self.evaluate(ground_truth=ground_truth, key=ground_truth_key)
         return WranglingResult(
             phase=phase or "run",

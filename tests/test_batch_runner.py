@@ -170,6 +170,83 @@ class TestIterRun:
         assert list(iter_run([], BatchConfig(executor="serial"))) == []
 
 
+class TestFeedbackRounds:
+    def test_multiple_rounds_extend_the_phase_list(self):
+        result = run_scenario(SynthConfig(family="product_catalog", **TINY),
+                              BatchConfig(feedback_budget=4, feedback_rounds=3))
+        assert result.ok, result.error
+        assert result.phases == ("bootstrap", "data_context", "feedback",
+                                 "feedback2", "feedback3")
+        assert result.incremental_patches == 0
+
+    def test_incremental_rounds_patch_and_match_full_runs(self):
+        config = SynthConfig(family="product_catalog", **TINY)
+        full = run_scenario(config, BatchConfig(feedback_budget=4, feedback_rounds=2))
+        patched = run_scenario(config, BatchConfig(feedback_budget=4, feedback_rounds=2,
+                                                   incremental_feedback=True))
+        assert full.ok and patched.ok, (full.error, patched.error)
+        assert patched.incremental_patches >= 1
+        # The incremental engine is an optimisation, not a semantics change.
+        assert patched.fingerprint == full.fingerprint
+        assert patched.quality == full.quality
+
+
+class TestCheckpointing:
+    def test_restart_reloads_completed_shards(self, tmp_path):
+        configs = tiny_configs(3)
+        batch = BatchConfig(executor="serial")
+        first = run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        assert not first.failed
+        assert all(not result.checkpointed for result in first.results)
+        assert len(list(tmp_path.glob("*.json"))) == len(configs)
+
+        second = run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        assert all(result.checkpointed for result in second.results)
+        assert [r.equivalence_key() for r in second.results] == [
+            r.equivalence_key() for r in first.results]
+
+    def test_corrupt_checkpoint_reruns_that_shard(self, tmp_path):
+        configs = tiny_configs(2)
+        batch = BatchConfig(executor="serial")
+        run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        victim.write_text("{not json", encoding="utf-8")
+        report = run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        assert sum(1 for result in report.results if result.checkpointed) == 1
+        assert not report.failed
+
+    def test_fingerprint_mismatch_invalidates_checkpoints(self, tmp_path):
+        configs = tiny_configs(2)
+        run_batch(configs, BatchConfig(executor="serial"), checkpoint_dir=str(tmp_path))
+        # Changing a result-shaping knob changes the shard fingerprints:
+        # nothing may resume from the stale shards.
+        report = run_batch(configs, BatchConfig(executor="serial", feedback_budget=3),
+                           checkpoint_dir=str(tmp_path))
+        assert all(not result.checkpointed for result in report.results)
+
+    def test_tampered_payload_is_rejected(self, tmp_path):
+        configs = tiny_configs(1)
+        batch = BatchConfig(executor="serial")
+        run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        path = next(tmp_path.glob("*.json"))
+        payload = json.loads(path.read_text())
+        payload["shard_fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        report = run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        assert not report.results[0].checkpointed
+
+    def test_partial_checkpoints_only_run_missing_shards(self, tmp_path):
+        configs = tiny_configs(3)
+        batch = BatchConfig(executor="serial")
+        run_batch(configs[:2], batch, checkpoint_dir=str(tmp_path))
+        report = run_batch(configs, batch, checkpoint_dir=str(tmp_path))
+        flags = [result.checkpointed for result in report.results]
+        assert flags == [True, True, False]
+        # Input order is preserved across the cached/fresh interleave.
+        assert [result.name for result in report.results] == [
+            config.label() for config in configs]
+
+
 class TestBatchReport:
     def test_by_family_and_as_dict(self):
         report = run_batch(tiny_configs(3), BatchConfig(executor="serial"))

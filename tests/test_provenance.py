@@ -459,6 +459,55 @@ class TestWranglerIntegration:
             wrangler.explain(0, "crimerank")
 
 
+class TestStoreSizeStability:
+    def test_record_tuple_revives_dropped_keys(self):
+        store = ProvenanceStore()
+        store.record_tuple("r", "k", operator="mapping",
+                           witnesses=(frozenset((store.ref("s", "s:0"),)),))
+        store.record_drop("r", "k", reason="merged away")
+        assert "k" in store.dropped("r")
+        store.record_tuple("r", "k", operator="mapping",
+                           witnesses=(frozenset((store.ref("s", "s:0"),)),))
+        # Patched rows replace their annotations: no lingering drop marker.
+        assert "k" not in store.dropped("r")
+        assert store.tuple_lineage("r", "k") is not None
+
+    def test_store_size_stable_across_repeated_apply_feedback(self):
+        """Repeated feedback rounds must not grow the lineage store: patched
+        rows replace (not append to) their witness sets and drop markers."""
+        from repro.feedback.annotations import simulate_feedback
+        from repro.incremental.validate import _prepare
+        from repro.scenarios.synth import SynthConfig, generate_synthetic
+        from repro.wrangler.config import WranglerConfig
+
+        scenario = generate_synthetic(
+            SynthConfig(family="product_catalog", entities=120, seed=2))
+        wrangler = _prepare(scenario, WranglerConfig())
+        relation = wrangler.result_name()
+        store = wrangler.provenance
+
+        sizes = []
+        for round_number in range(1, 5):
+            annotations = simulate_feedback(
+                wrangler.result(), scenario.ground_truth, scenario.evaluation_key,
+                budget=6, seed=round_number, strategy="targeted",
+                id_prefix=f"g{round_number}")
+            wrangler.apply_feedback(annotations, incremental=True)
+            stats = store.stats(relation)
+            sizes.append((stats["tuples"], stats["cell_overrides"], stats["dropped"]))
+        # The first round may add feedback overrides for newly annotated
+        # cells; after that the store must be size-stable — patched rows
+        # replace their witness sets and drop markers instead of appending.
+        assert sizes[1] == sizes[2] == sizes[3], sizes
+        tuples0, overrides0, dropped0 = sizes[0]
+        tuples_n, overrides_n, dropped_n = sizes[-1]
+        assert tuples_n <= tuples0
+        assert overrides_n <= overrides0 + tuples0  # new feedback marks only
+        assert dropped_n <= dropped0 + 1
+        # And the tracked population still matches the table + merged rows.
+        assert tuples_n <= len(wrangler.incremental.get(relation).order)
+
+
 class TestBatchProvenance:
     def test_annotated_results_pickle_through_process_pool(self):
         from repro.scenarios.synth import SynthConfig

@@ -255,6 +255,85 @@ class TestScenarioContract:
         assert 0.0 < result.quality.overall() <= 1.0
 
 
+class TestJoinShapedFamily:
+    def test_lookup_attributes_absent_from_entity_sources(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="shipment_tracking", entities=80, seed=2))
+        lookup = next(t for t in scenario.sources if t.name == "depots")
+        feeds = [t for t in scenario.sources if t.name.startswith("shipfeed")]
+        assert feeds and lookup is not None
+        # The lookup contributes region/depot_manager *only* via the join key.
+        assert set(lookup.schema.attribute_names) == {
+            "origin_depot", "region", "depot_manager"}
+        for feed in feeds:
+            names = set(feed.schema.attribute_names)
+            assert "region" not in names and "depot_region" not in names
+            assert "depot_manager" not in names and "site_manager" not in names
+
+    def test_lookup_is_clean_and_key_unique(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="shipment_tracking", entities=120, seed=5, noise=0.3,
+                        missing=0.3))
+        lookup = next(t for t in scenario.sources if t.name == "depots")
+        keys = lookup.column("origin_depot")
+        assert len(keys) == len(set(keys))
+        assert all(value is not None for row in lookup.tuples() for value in row)
+
+    def test_wrangle_populates_join_only_attributes(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="shipment_tracking", entities=120, seed=2))
+        wrangler = Wrangler()
+        scenario.install(wrangler)
+        result = wrangler.run("bootstrap", ground_truth=scenario.ground_truth,
+                              ground_truth_key=scenario.evaluation_key)
+        assert result.selected_mapping is not None
+        assert any(len(leaf.sources) > 1 and "depots" in leaf.sources
+                   for leaf in result.selected_mapping.leaf_mappings()), (
+            "a join mapping over the lookup source must win")
+        populated = sum(1 for row in result.table.rows()
+                        if row["region"] is not None)
+        assert populated > len(result.table) // 2
+
+
+class TestCrossFamilyMixing:
+    def test_mixed_sources_appended_and_renamed(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="product_catalog", entities=80, seed=1,
+                        mix_families=("sensor_log", "sensor_log")))
+        names = scenario.source_names()
+        assert "feed1_mix1" in names and "feed1_mix2" in names
+        assert len(names) == 2 + 2  # own sources + one distractor per mix entry
+
+    def test_mixing_is_deterministic_and_validated(self):
+        config = SynthConfig(family="org_directory", entities=60, seed=4,
+                             mix_families=("product_catalog",))
+        first = generate_synthetic(config)
+        second = generate_synthetic(config)
+        assert [t.tuples() for t in first.sources] == [t.tuples() for t in second.sources]
+        with pytest.raises(ValueError, match="unknown mix family"):
+            SynthConfig(mix_families=("nonsense",)).validate()
+
+    def test_builder_families_mix_too(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="real_estate", entities=60, seed=3,
+                        mix_families=("sensor_log",)))
+        assert "feed1_mix1" in scenario.source_names()
+        assert scenario.source_count == 4  # portals + deprivation + distractor
+
+    def test_distractors_do_not_pollute_the_result(self):
+        scenario = generate_synthetic(
+            SynthConfig(family="org_directory", entities=80, seed=3,
+                        mix_families=("sensor_log",)))
+        wrangler = Wrangler()
+        scenario.install(wrangler)
+        result = wrangler.run("bootstrap", ground_truth=scenario.ground_truth,
+                              ground_truth_key=scenario.evaluation_key)
+        assert result.row_count > 0
+        sources = {row["_source"] for row in result.table.rows()}
+        assert all(source.startswith("hrfeed") for source in sources), (
+            f"distractor sources leaked into the result: {sources}")
+
+
 class TestScenarioSuite:
     def test_default_suite_spans_all_families(self):
         configs = scenario_suite(per_family=2, seed=0, entities=100)
