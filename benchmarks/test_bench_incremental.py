@@ -29,6 +29,7 @@ import os
 from benchmarks.conftest import print_table
 from repro.fusion.duplicates import DuplicateDetectorConfig
 from repro.incremental.validate import ValidationReport, check_incremental
+from repro.quality.cfd_learning import CFDLearnerConfig
 from repro.scenarios.synth import SynthConfig
 from repro.wrangler.config import WranglerConfig
 
@@ -46,28 +47,39 @@ BUDGET = max(1, (ENTITIES * 3 // 2) // 100)
 #: ISSUE 4 acceptance bar.
 MIN_SPEEDUP = 1.3 if SMOKE else 5.0
 
-#: (family, duplicate-detector config) benchmark cases. The generic
-#: families carry no postcode, so detection blocks on the entity key —
-#: without it, pair scoring is quadratic and no path is feasible at 10^4.
+#: Per-family wrangler configs. The generic families carry no postcode, so
+#: detection blocks on the entity key — without it, pair scoring is
+#: quadratic and no path is feasible at 10^4. product_catalog additionally
+#: pins the CFD learner to exact dependencies: namespacing CFD ids by
+#: context table (ISSUE 5) activated approximate master-data FDs such as
+#: ``name → sku`` whose witnesses previously collided into no-ops, and with
+#: them the scenario legitimately fuses in two cascaded passes at 10^4 — a
+#: shape the patch engine hands to the full pipeline by design. The exact
+#: FDs keep the canonical ``sku → name/price`` repairs (fusion stays heavy)
+#: while the bench keeps exercising the patch path it is gating.
 CASES = {
-    "product_catalog": DuplicateDetectorConfig(
-        blocking_attributes=("sku",),
-        comparison_attributes=("name", "price", "brand", "category"),
+    "product_catalog": WranglerConfig(
+        duplicate_detector=DuplicateDetectorConfig(
+            blocking_attributes=("sku",),
+            comparison_attributes=("name", "price", "brand", "category"),
+        ),
+        cfd_learner=CFDLearnerConfig(min_confidence=1.0),
     ),
-    "shipment_tracking": DuplicateDetectorConfig(
-        blocking_attributes=("tracking_id",),
-        comparison_attributes=("dest_city", "weight_kg", "carrier", "status"),
+    "shipment_tracking": WranglerConfig(
+        duplicate_detector=DuplicateDetectorConfig(
+            blocking_attributes=("tracking_id",),
+            comparison_attributes=("dest_city", "weight_kg", "carrier", "status"),
+        ),
     ),
 }
 
 
 def _run_case(family: str) -> ValidationReport:
-    config = WranglerConfig(duplicate_detector=CASES[family])
     return check_incremental(
         SynthConfig(family=family, entities=ENTITIES, seed=0),
         rounds=ROUNDS,
         budget=BUDGET,
-        wrangler_config=config,
+        wrangler_config=CASES[family],
     )
 
 

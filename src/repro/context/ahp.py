@@ -93,8 +93,9 @@ class PairwiseMatrix:
         return cls(tuple(items), np.ones((size, size), dtype=float))
 
     @classmethod
-    def from_comparisons(cls, items: Sequence[str],
-                         comparisons: Mapping[tuple[str, str], float]) -> "PairwiseMatrix":
+    def from_comparisons(
+        cls, items: Sequence[str], comparisons: Mapping[tuple[str, str], float]
+    ) -> "PairwiseMatrix":
         """Build a matrix from ``{(more_important, less_important): strength}``.
 
         Unspecified pairs default to 1 (equal importance); reciprocals are

@@ -36,8 +36,11 @@ class DataContextBinding:
     attribute_map: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
-        valid = (Predicates.CONTEXT_REFERENCE, Predicates.CONTEXT_MASTER,
-                 Predicates.CONTEXT_EXAMPLE)
+        valid = (
+            Predicates.CONTEXT_REFERENCE,
+            Predicates.CONTEXT_MASTER,
+            Predicates.CONTEXT_EXAMPLE,
+        )
         if self.kind not in valid:
             raise ValueError(f"unknown data context kind {self.kind!r}; expected one of {valid}")
 
@@ -54,30 +57,42 @@ class DataContext:
     def __init__(self, bindings: Iterable[DataContextBinding] = ()):
         self._bindings: list[DataContextBinding] = list(bindings)
 
-    def bind(self, table: Table, kind: str, target_relation: str, *,
-             attribute_map: Mapping[str, str] | None = None) -> "DataContext":
+    def bind(
+        self,
+        table: Table,
+        kind: str,
+        target_relation: str,
+        *,
+        attribute_map: Mapping[str, str] | None = None,
+    ) -> "DataContext":
         """Associate ``table`` with the target schema as ``kind`` data."""
         mapping = tuple((attribute_map or {}).items())
         self._bindings.append(DataContextBinding(table, kind, target_relation, mapping))
         return self
 
-    def reference(self, table: Table, target_relation: str, *,
-                  attribute_map: Mapping[str, str] | None = None) -> "DataContext":
+    def reference(
+        self, table: Table, target_relation: str, *, attribute_map: Mapping[str, str] | None = None
+    ) -> "DataContext":
         """Bind reference data (complete lists, e.g. addresses/postcodes)."""
-        return self.bind(table, Predicates.CONTEXT_REFERENCE, target_relation,
-                         attribute_map=attribute_map)
+        return self.bind(
+            table, Predicates.CONTEXT_REFERENCE, target_relation, attribute_map=attribute_map
+        )
 
-    def master(self, table: Table, target_relation: str, *,
-               attribute_map: Mapping[str, str] | None = None) -> "DataContext":
+    def master(
+        self, table: Table, target_relation: str, *, attribute_map: Mapping[str, str] | None = None
+    ) -> "DataContext":
         """Bind master data (the complete list of entities of interest)."""
-        return self.bind(table, Predicates.CONTEXT_MASTER, target_relation,
-                         attribute_map=attribute_map)
+        return self.bind(
+            table, Predicates.CONTEXT_MASTER, target_relation, attribute_map=attribute_map
+        )
 
-    def example(self, table: Table, target_relation: str, *,
-                attribute_map: Mapping[str, str] | None = None) -> "DataContext":
+    def example(
+        self, table: Table, target_relation: str, *, attribute_map: Mapping[str, str] | None = None
+    ) -> "DataContext":
         """Bind example data (a partial list the user happens to have)."""
-        return self.bind(table, Predicates.CONTEXT_EXAMPLE, target_relation,
-                         attribute_map=attribute_map)
+        return self.bind(
+            table, Predicates.CONTEXT_EXAMPLE, target_relation, attribute_map=attribute_map
+        )
 
     @property
     def bindings(self) -> tuple[DataContextBinding, ...]:

@@ -39,6 +39,8 @@ class CriterionWeightTransducer(Transducer):
         return TransducerResult(
             facts_added=added,
             notes=f"derived {len(weights)} criterion weights (CR={consistency:.3f})",
-            details={"weights": {c.key: w for c, w in weights.items()},
-                     "consistency_ratio": consistency},
+            details={
+                "weights": {c.key: w for c, w in weights.items()},
+                "consistency_ratio": consistency,
+            },
         )

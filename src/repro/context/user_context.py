@@ -51,15 +51,17 @@ class Preference:
 class UserContext:
     """The set of user preferences for one wrangling task."""
 
-    def __init__(self, preferences: Iterable[Preference] = (),
-                 default_criteria: Iterable[Criterion] = ()):
+    def __init__(
+        self, preferences: Iterable[Preference] = (), default_criteria: Iterable[Criterion] = ()
+    ):
         self._preferences: list[Preference] = list(preferences)
         self._default_criteria: list[Criterion] = list(default_criteria)
 
     # -- construction ----------------------------------------------------------
 
-    def prefer(self, more_important: Criterion, less_important: Criterion,
-               strength: float | str) -> "UserContext":
+    def prefer(
+        self, more_important: Criterion, less_important: Criterion, strength: float | str
+    ) -> "UserContext":
         """Add a pairwise preference (numeric strength or verbal phrase)."""
         if isinstance(strength, str):
             numeric = verbal_strength(strength)
@@ -130,8 +132,11 @@ class UserContext:
 
     def attribute_weights(self, dimension: str) -> dict[str, float]:
         """Relative weights of attribute-scoped criteria within one dimension."""
-        scoped = {criterion.attribute: weight for criterion, weight in self.weights().items()
-                  if criterion.dimension == dimension and criterion.attribute}
+        scoped = {
+            criterion.attribute: weight
+            for criterion, weight in self.weights().items()
+            if criterion.dimension == dimension and criterion.attribute
+        }
         total = sum(scoped.values())
         if total <= 0:
             return {}
@@ -168,8 +173,9 @@ class UserContext:
         """Reconstruct a user context from the KB's preference facts."""
         context = cls()
         for first, second, strength in kb.facts(Predicates.PREFERENCE):
-            context.add(Preference(Criterion.from_key(first), Criterion.from_key(second),
-                                   float(strength)))
+            context.add(
+                Preference(Criterion.from_key(first), Criterion.from_key(second), float(strength))
+            )
         return context
 
     # -- rendering ---------------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.provenance.feedback import (
     LineageFeedbackPropagator,
 )
 from repro.provenance.model import OPERATOR_FEEDBACK, provenance_store
+from repro.quality.transducers import quality_stats_stash
 from repro.relational.types import is_null
 
 __all__ = ["MappingEvaluationTransducer", "FeedbackRepairTransducer"]
@@ -125,12 +126,23 @@ class FeedbackRepairTransducer(Transducer):
         rows_dropped = 0
         tables_written = []
         store = provenance_store(kb)
+        stash = quality_stats_stash(kb, create=False)
         for relation, annotations in by_relation.items():
             if not kb.has_table(relation):
                 continue
             table = kb.get_table(relation)
             if PROVENANCE_ROW_ID not in table.schema:
                 continue
+            # Keep the quality sufficient statistics tracking the rewrite:
+            # this is the one table mutation the metric transducer's watch
+            # predicates cannot see, so the accumulators would silently go
+            # stale without it. Entries that already drifted are dropped
+            # (the incremental engine rebuilds them from the table).
+            entry = stash.entries.get(relation) if stash is not None else None
+            if entry is not None and entry.stats.row_count != len(table):
+                stash.entries.pop(relation, None)
+                entry = None
+            stats = entry.stats if entry is not None else None
             row_id_position = table.schema.position(PROVENANCE_ROW_ID)
             cell_marks = {
                 (row_key, attribute)
@@ -150,6 +162,8 @@ class FeedbackRepairTransducer(Transducer):
                     rows_dropped += 1
                     changed = True
                     store.record_drop(relation, row_key, reason="feedback: tuple marked incorrect")
+                    if stats is not None:
+                        stats.remove_row(values)
                     continue
                 mutable = list(values)
                 for position, attribute in enumerate(table.schema.attribute_names):
@@ -169,7 +183,10 @@ class FeedbackRepairTransducer(Transducer):
                             witnesses=prior.witnesses if prior else (),
                             detail="cleared: marked incorrect",
                         )
-                new_rows.append(tuple(mutable))
+                new_values = tuple(mutable)
+                if stats is not None and new_values != values:
+                    stats.replace_row(values, new_values)
+                new_rows.append(new_values)
             if changed:
                 rewritten = table.replace_rows(new_rows)
                 kb.update_table(rewritten)

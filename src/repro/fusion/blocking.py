@@ -34,8 +34,9 @@ def block_by_attributes(table: Table, attributes: Sequence[str]) -> dict[tuple, 
     return dict(blocks)
 
 
-def block_by_key_function(table: Table, key_function: Callable[[Row], object]
-                          ) -> dict[object, list[int]]:
+def block_by_key_function(
+    table: Table, key_function: Callable[[Row], object]
+) -> dict[object, list[int]]:
     """Group row indexes by an arbitrary key function."""
     blocks: dict[object, list[int]] = defaultdict(list)
     for index, row in enumerate(table.rows()):

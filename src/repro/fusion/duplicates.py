@@ -18,8 +18,12 @@ from repro.matching.similarity import jaro_winkler_similarity
 from repro.relational.table import Row, Table
 from repro.relational.types import is_null
 
-__all__ = ["DuplicatePair", "DuplicateDetectorConfig", "DuplicateDetector",
-           "cluster_row_keys"]
+__all__ = [
+    "DuplicatePair",
+    "DuplicateDetectorConfig",
+    "DuplicateDetector",
+    "cluster_row_keys",
+]
 
 
 @dataclass(frozen=True)
@@ -47,8 +51,13 @@ class DuplicateDetectorConfig:
     #: Price and description are the discriminating attributes in the
     #: real-estate domain: two listings of the *same* property agree on them
     #: almost exactly, while different properties on the same street do not.
-    comparison_attributes: tuple[str, ...] = ("street", "price", "bedrooms", "type",
-                                              "description")
+    comparison_attributes: tuple[str, ...] = (
+        "street",
+        "price",
+        "bedrooms",
+        "type",
+        "description",
+    )
     #: Pairs scoring at or above this are duplicates. The default is
     #: deliberately conservative: false merges (fusing two different
     #: properties) damage accuracy far more than missed duplicates damage

@@ -49,8 +49,12 @@ class FusionResult:
 class DataFuser:
     """Fuses duplicate clusters according to per-attribute policies."""
 
-    def __init__(self, *, default_policy: str = FusionPolicy.PREFER_NON_NULL,
-                 attribute_policies: Mapping[str, str] | None = None):
+    def __init__(
+        self,
+        *,
+        default_policy: str = FusionPolicy.PREFER_NON_NULL,
+        attribute_policies: Mapping[str, str] | None = None,
+    ):
         if default_policy not in FusionPolicy.ALL:
             raise ValueError(f"unknown fusion policy {default_policy!r}")
         for attribute, policy in (attribute_policies or {}).items():
@@ -59,8 +63,13 @@ class DataFuser:
         self._default_policy = default_policy
         self._attribute_policies = dict(attribute_policies or {})
 
-    def fuse(self, table: Table, duplicates: Sequence[DuplicatePair], *,
-             provenance: ProvenanceStore | None = None) -> FusionResult:
+    def fuse(
+        self,
+        table: Table,
+        duplicates: Sequence[DuplicatePair],
+        *,
+        provenance: ProvenanceStore | None = None,
+    ) -> FusionResult:
         """Collapse duplicate clusters of ``table`` into single rows.
 
         Non-duplicate rows are kept unchanged and row order is preserved
@@ -97,8 +106,9 @@ class DataFuser:
             conflicts += cluster_conflicts
             fused_rows.append(merged)
             if track:
-                self._record_merge(provenance, table.name, names, merged, members,
-                                   row_keys, winners)
+                self._record_merge(
+                    provenance, table.name, names, merged, members, row_keys, winners
+                )
         fused_table = table.replace_rows(fused_rows)
         return FusionResult(
             table=fused_table,
@@ -137,10 +147,16 @@ class DataFuser:
             )
         return merged, conflicts
 
-    def _record_merge(self, provenance: ProvenanceStore, relation: str,
-                      names: Sequence[str], merged: tuple, members: Sequence[int],
-                      row_keys: Sequence[str],
-                      winners: Mapping[int, list[int]]) -> None:
+    def _record_merge(
+        self,
+        provenance: ProvenanceStore,
+        relation: str,
+        names: Sequence[str],
+        merged: tuple,
+        members: Sequence[int],
+        row_keys: Sequence[str],
+        winners: Mapping[int, list[int]],
+    ) -> None:
         """Record the lineage of one fused cluster row."""
         member_keys = [row_keys[m] for m in members]
         if ROW_KEY_ATTRIBUTE in names:
@@ -148,8 +164,9 @@ class DataFuser:
             kept_key = str(kept_value) if kept_value is not None else member_keys[0]
         else:
             kept_key = member_keys[0]
-        member_lineages = {key: provenance.tuple_lineage(relation, key)
-                           for key in member_keys}
+        member_lineages = {
+            key: provenance.tuple_lineage(relation, key) for key in member_keys
+        }
         provenance.merge_tuples(
             relation, kept_key,
             [key for key in member_keys if key != kept_key],
@@ -172,13 +189,18 @@ class DataFuser:
                 if lineage is not None:
                     witnesses.update(lineage.cell(name).witnesses)
             policy = self._attribute_policies.get(name, self._default_policy)
-            provenance.record_cell(relation, kept_key, name,
-                                   operator=OPERATOR_FUSION,
-                                   witnesses=witnesses,
-                                   detail=policy if conflict else None)
+            provenance.record_cell(
+                relation,
+                kept_key,
+                name,
+                operator=OPERATOR_FUSION,
+                witnesses=witnesses,
+                detail=policy if conflict else None,
+            )
 
-    def _merge(self, names: Sequence[str],
-               member_rows: list[tuple]) -> tuple[tuple, int, dict[int, list[int]]]:
+    def _merge(
+        self, names: Sequence[str], member_rows: list[tuple]
+    ) -> tuple[tuple, int, dict[int, list[int]]]:
         """Merge one cluster; returns (row, conflict count, conflict winners).
 
         ``winners`` maps conflicting attribute positions to the member
@@ -216,8 +238,11 @@ class DataFuser:
                     return value
             return values[0]
         if policy in (FusionPolicy.MIN, FusionPolicy.MAX):
-            numeric = [value for value in values
-                       if isinstance(value, (int, float)) and not isinstance(value, bool)]
+            numeric = [
+                value
+                for value in values
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
             if not numeric:
                 return values[0]
             return min(numeric) if policy == FusionPolicy.MIN else max(numeric)

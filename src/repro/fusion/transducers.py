@@ -61,13 +61,22 @@ class DuplicateDetectionTransducer(Transducer):
             rows = table.rows()
             pair_keys: dict[tuple[str, str], float] = {}
             for pair in pairs:
-                left_key = (str(rows[pair.left_index][PROVENANCE_ROW_ID]) if has_row_id
-                            else str(pair.left_index))
-                right_key = (str(rows[pair.right_index][PROVENANCE_ROW_ID]) if has_row_id
-                             else str(pair.right_index))
+                left_key = (
+                    str(rows[pair.left_index][PROVENANCE_ROW_ID])
+                    if has_row_id
+                    else str(pair.left_index)
+                )
+                right_key = (
+                    str(rows[pair.right_index][PROVENANCE_ROW_ID])
+                    if has_row_id
+                    else str(pair.right_index)
+                )
                 pair_keys[(left_key, right_key)] = pair.score
-                added += int(kb.assert_tuple(duplicate_fact(
-                    relation, left_key, relation, right_key, pair.score)))
+                added += int(
+                    kb.assert_tuple(
+                        duplicate_fact(relation, left_key, relation, right_key, pair.score)
+                    )
+                )
             if state is not None and has_row_id:
                 state.observe_pairs(table, pair_keys)
         kb.store_artifact(DUPLICATES_ARTIFACT_KEY, all_pairs)
@@ -122,12 +131,11 @@ class DataFusionTransducer(Transducer):
             rows_removed += result.rows_removed
         # The fused table invalidates the detected pairs (indexes changed).
         if fused_tables:
-            kb.store_artifact(DUPLICATES_ARTIFACT_KEY,
-                              {rel: [] for rel in all_pairs})
+            kb.store_artifact(DUPLICATES_ARTIFACT_KEY, {rel: [] for rel in all_pairs})
         return TransducerResult(
             facts_added=0,
             tables_written=fused_tables,
             notes=f"fused duplicates in {len(fused_tables)} results "
-                  f"({rows_removed} rows removed)",
+            f"({rows_removed} rows removed)",
             details={"rows_removed": rows_removed},
         )

@@ -28,6 +28,7 @@ from repro.incremental.state import (
     IncrementalState,
     RelationState,
     incremental_state,
+    mapping_source_volumes,
 )
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "RelationState",
     "INCREMENTAL_STATE_ARTIFACT_KEY",
     "incremental_state",
+    "mapping_source_volumes",
     "ValidationReport",
     "check_incremental",
 ]

@@ -18,6 +18,15 @@ can affect:
 The result is a :class:`DirtyMap` — per result relation, which row keys need
 full re-materialisation, which only need re-derivation (repair / fusion /
 feedback) from their cached base rows, and which driving rows are new.
+
+The index is *persistent*: it lives in the session's
+:class:`~repro.incremental.state.IncrementalState` and is inverted at most
+once per materialisation. After a patch, :meth:`apply_change_set` re-reads
+only the touched rows' lineage and splices their entries into the inverted
+witness/repair maps in place (the cached duplicate-cluster maps refresh
+likewise), so repeated revisions never pay for re-inverting the whole
+provenance store — ``builds`` counts the full inversions and stays at one
+across any number of patches.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from repro.incremental.delta import (
     SourceRowsDelta,
 )
 from repro.incremental.state import IncrementalState, RelationState
-from repro.provenance.model import OPERATOR_REPAIR, ProvenanceStore
+from repro.provenance.model import OPERATOR_REPAIR, ProvenanceStore, TupleLineage
 from repro.relational.keys import normalise_key
 
 __all__ = ["DirtySet", "DirtyMap", "ImpactIndex", "cluster_map"]
@@ -126,7 +135,10 @@ class ImpactIndex:
     """Inverted provenance: source refs and CFDs → downstream row keys.
 
     The index is built lazily — feedback-only change sets never pay for the
-    inversion — and covers the relations the incremental state tracks.
+    inversion — and covers the relations the incremental state tracks. Once
+    built it is maintained in place: :meth:`apply_change_set` (or the
+    finer-grained :meth:`update_rows`) re-indexes exactly the rows a patch
+    touched.
     """
 
     def __init__(
@@ -142,33 +154,151 @@ class ImpactIndex:
         #: result relation → selected SchemaMapping (for source-delta routing).
         self._mappings = dict(mappings or {})
         self._catalog = catalog
+        #: (source relation, row id) → downstream (relation, row key) targets.
         self._by_ref: dict[tuple[str, str], set[tuple[str, str]]] | None = None
-        self._by_source: dict[str, set[tuple[str, str]]] | None = None
+        #: source relation → target → number of distinct supporting refs.
+        self._by_source: dict[str, dict[tuple[str, str], int]] | None = None
+        #: repairing cfd id → targets with a cell it rewrote.
         self._by_cfd: dict[str, set[tuple[str, str]]] | None = None
+        #: target → (refs, cfd ids) currently indexed, for in-place removal.
+        self._entries: dict[tuple[str, str], tuple[frozenset, frozenset]] = {}
+        #: relation → cached duplicate-cluster map over the snapshot's pairs.
+        self._clusters: dict[str, dict[str, frozenset[str]]] = {}
+        #: Full inversions performed (stays at 1 across any number of patches).
+        self.builds = 0
+
+    @property
+    def store(self) -> ProvenanceStore:
+        """The provenance store this index inverts."""
+        return self._store
+
+    def refresh(
+        self, *, mappings: Mapping[str, Any] | None = None, catalog: Any = None
+    ) -> "ImpactIndex":
+        """Update the routing context (selected mappings, catalog) in place.
+
+        The inverted maps do not depend on either, so refreshing never
+        invalidates them — this is what lets one index serve every phase of
+        a patch (pre- and post-revision mappings) without rebuilding.
+        """
+        if mappings is not None:
+            self._mappings = dict(mappings)
+        if catalog is not None:
+            self._catalog = catalog
+        return self
 
     # -- inversion ------------------------------------------------------------
 
     def _build(self) -> None:
         if self._by_ref is not None:
             return
-        by_ref: dict[tuple[str, str], set[tuple[str, str]]] = {}
-        by_source: dict[str, set[tuple[str, str]]] = {}
-        by_cfd: dict[str, set[tuple[str, str]]] = {}
+        self.builds += 1
+        self._by_ref = {}
+        self._by_source = {}
+        self._by_cfd = {}
+        self._entries = {}
         for relation in self._state.relations:
             for row_key, lineage in self._store.iter_tuples(relation):
-                target = (relation, row_key)
-                for witness in lineage.witnesses:
-                    for ref in witness:
-                        by_ref.setdefault((ref.relation, ref.row_id), set()).add(target)
-                        by_source.setdefault(ref.relation, set()).add(target)
-                for cell in lineage.cells.values():
-                    if cell.operator != OPERATOR_REPAIR or not cell.detail:
-                        continue
-                    cfd_id = cell.detail.rsplit(":", 1)[0]
-                    by_cfd.setdefault(cfd_id, set()).add(target)
-        self._by_ref = by_ref
-        self._by_source = by_source
-        self._by_cfd = by_cfd
+                self._index_lineage(relation, row_key, lineage)
+
+    @staticmethod
+    def _lineage_entries(lineage: TupleLineage) -> tuple[frozenset, frozenset]:
+        """(supporting refs, repairing cfd ids) of one tuple's lineage."""
+        refs = frozenset(ref for witness in lineage.witnesses for ref in witness)
+        cfd_ids = set()
+        for cell in lineage.cells.values():
+            if cell.operator != OPERATOR_REPAIR or not cell.detail:
+                continue
+            cfd_ids.add(cell.detail.rsplit(":", 1)[0])
+        return refs, frozenset(cfd_ids)
+
+    def _index_lineage(self, relation: str, row_key: str, lineage: TupleLineage) -> None:
+        target = (relation, row_key)
+        refs, cfd_ids = self._lineage_entries(lineage)
+        self._entries[target] = (refs, cfd_ids)
+        for ref in refs:
+            self._by_ref.setdefault((ref.relation, ref.row_id), set()).add(target)
+            by_source = self._by_source.setdefault(ref.relation, {})
+            by_source[target] = by_source.get(target, 0) + 1
+        for cfd_id in cfd_ids:
+            self._by_cfd.setdefault(cfd_id, set()).add(target)
+
+    def _deindex(self, target: tuple[str, str]) -> None:
+        refs, cfd_ids = self._entries.pop(target, (frozenset(), frozenset()))
+        for ref in refs:
+            bucket = self._by_ref.get((ref.relation, ref.row_id))
+            if bucket is not None:
+                bucket.discard(target)
+                if not bucket:
+                    del self._by_ref[(ref.relation, ref.row_id)]
+            by_source = self._by_source.get(ref.relation)
+            if by_source is not None:
+                remaining = by_source.get(target, 0) - 1
+                if remaining > 0:
+                    by_source[target] = remaining
+                else:
+                    by_source.pop(target, None)
+                    if not by_source:
+                        del self._by_source[ref.relation]
+        for cfd_id in cfd_ids:
+            bucket = self._by_cfd.get(cfd_id)
+            if bucket is not None:
+                bucket.discard(target)
+                if not bucket:
+                    del self._by_cfd[cfd_id]
+
+    # -- in-place maintenance --------------------------------------------------
+
+    def update_rows(self, relation: str, row_keys: Iterable[str]) -> int:
+        """Re-index the given rows from their current lineage, in place.
+
+        Rows whose lineage disappeared (dropped tuples) leave the index.
+        A no-op while the index has never been built — there is nothing to
+        maintain, and the eventual first build reads the patched store.
+        Returns how many rows were re-indexed.
+        """
+        if self._by_ref is None:
+            return 0
+        updated = 0
+        for row_key in row_keys:
+            target = (relation, str(row_key))
+            self._deindex(target)
+            lineage = self._store.tuple_lineage(relation, str(row_key))
+            if lineage is not None:
+                self._index_lineage(relation, str(row_key), lineage)
+            updated += 1
+        return updated
+
+    def note_pairs_changed(self, relation: str) -> None:
+        """Invalidate the cached cluster map after a pair re-score."""
+        self._clusters.pop(relation, None)
+
+    def apply_change_set(
+        self, change_set: ChangeSet, touched: Mapping[str, Iterable[str]] | None = None
+    ) -> int:
+        """Bring the index up to date after a patch, without re-inverting.
+
+        ``touched`` names, per result relation, every row key whose lineage
+        the patch may have rewritten (re-derived, fused, repaired, dropped
+        or appended rows — the engine collects them as it patches); the
+        witness/repair maps are updated row-by-row and the cluster caches
+        of those relations are refreshed. Without it, every tracked
+        relation the change set can affect has all of its rows re-indexed
+        from current lineage — conservative, but still no full inversion.
+        """
+        if touched is None:
+            touched = {
+                relation: list(state.order)
+                for relation, state in self._state.relations.items()
+                if change_set.restrict_to_table(relation)
+            }
+        updated = 0
+        for relation, row_keys in touched.items():
+            updated += self.update_rows(relation, row_keys)
+            self.note_pairs_changed(relation)
+        return updated
+
+    # -- lookups --------------------------------------------------------------
 
     def downstream_of_ref(self, relation: str, row_id: str) -> set[tuple[str, str]]:
         """(result relation, row key) pairs supported by one base tuple."""
@@ -184,6 +314,15 @@ class ImpactIndex:
         """(result relation, row key) pairs with a cell repaired by ``cfd_id``."""
         self._build()
         return set(self._by_cfd.get(cfd_id, ()))
+
+    def clusters(self, relation: str) -> dict[str, frozenset[str]]:
+        """The duplicate-cluster map of one relation, cached across revisions."""
+        cached = self._clusters.get(relation)
+        if cached is None:
+            state = self._state.get(relation)
+            cached = cluster_map(state.pairs) if state is not None else {}
+            self._clusters[relation] = cached
+        return cached
 
     # -- resolution -----------------------------------------------------------
 
@@ -215,10 +354,9 @@ class ImpactIndex:
         # Fusion-cluster fan-out: a dirty member dirties its whole cluster —
         # the surviving fused row must be re-derived from every member.
         for relation, entry in dirty.items():
-            state = self._state.get(relation)
-            if state is None:
+            if self._state.get(relation) is None:
                 continue
-            clusters = cluster_map(state.pairs)
+            clusters = self.clusters(relation)
             expanded: set[str] = set()
             for key in entry.recompute | entry.rematerialise:
                 expanded |= clusters.get(key, frozenset())
@@ -369,10 +507,10 @@ class ImpactIndex:
             entry.reasons.append(f"cfds {delta.change}: {', '.join(delta.cfd_ids)}")
 
     def _resolve_fusion(self, delta: FusionPolicyDelta, dirty_set) -> None:
-        for relation, state in self._state.relations.items():
+        for relation in self._state.relations:
             if delta.relation not in (None, relation):
                 continue
-            clustered = cluster_map(state.pairs)
+            clustered = self.clusters(relation)
             if not clustered:
                 continue
             entry = dirty_set(relation)

@@ -25,10 +25,11 @@ almost entirely redundant.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from repro.core.facts import Predicates, result_fact
+from repro.core.facts import Predicates, metric_fact, result_fact
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.registry import TransducerRegistry
 from repro.fusion.blocking import block_by_attributes, candidate_pairs
@@ -42,13 +43,19 @@ from repro.incremental.state import (
     PHASE_PREFUSION,
     RelationState,
     incremental_state,
+    mapping_source_volumes,
 )
 from repro.mapping.execution import MappingExecutor
 from repro.mapping.transducers import MAPPINGS_ARTIFACT_KEY, result_relation_name
 from repro.provenance.model import OPERATOR_FEEDBACK, ProvenanceStore, provenance_store
 from repro.quality.cfd_learning import LearnedCFDs
 from repro.quality.repair import CFDRepairer
-from repro.quality.transducers import CFD_ARTIFACT_KEY
+from repro.quality.transducers import (
+    CFD_ARTIFACT_KEY,
+    build_relation_entry,
+    quality_context_token,
+    quality_stats_stash,
+)
 from repro.relational.table import ROW_KEY_ATTRIBUTE, Table
 from repro.relational.types import is_null
 
@@ -62,6 +69,8 @@ _PATCHED_TRANSDUCERS = (
     "data_repair",
     "feedback_repair",
 )
+#: Additionally marked synced when the engine patched the metric facts too.
+_METRIC_TRANSDUCER = "quality_metrics"
 #: Canonical order the engine runs evaluation-side transducers in: the same
 #: order the orchestration loop's fixpoint settles them (matching before
 #: evaluation before regeneration before scoring before selection).
@@ -87,6 +96,10 @@ class IncrementalOutcome:
     clusters_refused: int = 0
     cells_rerepaired: int = 0
     rows_dropped: int = 0
+    #: Relations whose metric facts were refreshed from patched statistics
+    #: (empty when the quality stash was unavailable and the next full run
+    #: recomputes the metrics instead).
+    metrics_patched: list[str] = field(default_factory=list)
     details: dict[str, Any] = field(default_factory=dict)
 
     def describe(self) -> dict[str, Any]:
@@ -100,6 +113,7 @@ class IncrementalOutcome:
             "clusters_refused": self.clusters_refused,
             "cells_rerepaired": self.cells_rerepaired,
             "rows_dropped": self.rows_dropped,
+            "metrics_patched": list(self.metrics_patched),
             **self.details,
         }
 
@@ -165,6 +179,12 @@ class IncrementalWrangler:
                 )
 
         outcome = IncrementalOutcome(applied=True)
+        #: relation → (rows before the patch, rows after) — feeds the
+        #: metric-statistics patch; phase D composes onto phase A's diff.
+        row_diffs: dict[str, tuple[dict[str, tuple], dict[str, tuple]]] = {}
+        #: relation → row keys whose lineage this patch rewrote — feeds the
+        #: in-place impact-index update.
+        touched_lineage: dict[str, set[str]] = {}
 
         # Phase A — feedback patch against the pre-revision mappings.
         feedback_set = ChangeSet(
@@ -174,7 +194,9 @@ class IncrementalWrangler:
             old_mappings = {
                 relation: rel_state.mapping for relation, rel_state in state.relations.items()
             }
-            problem = self._patch_phase(feedback_set, state, store, old_mappings, outcome)
+            problem = self._patch_phase(
+                feedback_set, state, store, old_mappings, outcome, row_diffs, touched_lineage
+            )
             if problem is not None:
                 return self._fallback(change_set, problem)
 
@@ -246,10 +268,24 @@ class IncrementalWrangler:
         )
         if structural or revised_leaves:
             problem = self._patch_phase(
-                structural, state, store, selected, outcome, revised_leaves=revised_leaves
+                structural,
+                state,
+                store,
+                selected,
+                outcome,
+                row_diffs,
+                touched_lineage,
+                revised_leaves=revised_leaves,
             )
             if problem is not None:
                 return self._fallback(change_set, problem, evaluated=evaluated)
+
+        # Phase D2 — metric facts: retract/add only the touched rows'
+        # contributions to the quality sufficient statistics, then refresh
+        # the affected ``metric`` facts from the patched accumulators.
+        metrics_started = time.perf_counter()
+        metrics_patched = self._patch_metrics(change_set, state, row_diffs, outcome)
+        outcome.details["metrics_seconds"] = time.perf_counter() - metrics_started
 
         # Phase E — bookkeeping: the engine has done the pipeline tail's
         # work for this revision; without marking it, the next orchestration
@@ -258,12 +294,27 @@ class IncrementalWrangler:
             {d.feedback_id for d in change_set.feedback_deltas() if d.feedback_id}
         )
         if self._registry is not None:
-            for name in _PATCHED_TRANSDUCERS:
+            synced = _PATCHED_TRANSDUCERS + ((_METRIC_TRANSDUCER,) if metrics_patched else ())
+            for name in synced:
                 if name in self._registry:
                     self._registry.get(name).mark_synced(kb)
         outcome.reason = "patched in place"
         outcome.details["change_set"] = change_set.describe()
         return outcome
+
+    def _impact_index(self, state, store: ProvenanceStore) -> ImpactIndex:
+        """The session's persistent impact index (created on first need).
+
+        The index survives across revisions: each patch updates the touched
+        rows' entries in place (:meth:`ImpactIndex.apply_change_set`), so
+        the provenance store is inverted at most once per materialisation —
+        never once per revision.
+        """
+        index = state.impact
+        if index is None or index.store is not store:
+            index = ImpactIndex(store, state)
+            state.impact = index
+        return index
 
     def _patch_phase(
         self,
@@ -272,6 +323,8 @@ class IncrementalWrangler:
         store: ProvenanceStore,
         mappings: Mapping[str, Any],
         outcome: IncrementalOutcome,
+        row_diffs: dict[str, tuple[dict[str, tuple], dict[str, tuple]]],
+        touched_lineage: dict[str, set[str]],
         *,
         revised_leaves: Mapping[str, set[str]] | None = None,
     ) -> str | None:
@@ -280,13 +333,16 @@ class IncrementalWrangler:
         Returns a problem description on any unsupported shape (the caller
         falls back to the full pipeline, which overwrites partial patches).
         """
-        index = ImpactIndex(store, state, mappings=mappings, catalog=self._kb.catalog)
+        index = self._impact_index(state, store).refresh(
+            mappings=mappings, catalog=self._kb.catalog
+        )
         dirty_map = change_set.row_key_closure(index)
         for relation, sources in (revised_leaves or {}).items():
             entry = dirty_map.setdefault(relation, DirtySet(relation=relation))
             entry.rebuild_sources |= sources
             entry.reasons.append(f"mapping assignments changed for {sorted(sources)}")
         try:
+            phase_touched: dict[str, set[str]] = {}
             for relation, dirty in sorted(dirty_map.items()):
                 rel_state = state.get(relation)
                 if rel_state is None or dirty.full_rebuild:
@@ -299,15 +355,136 @@ class IncrementalWrangler:
                 mapping = mappings.get(relation)
                 if mapping is None:
                     return f"no mapping available to patch {relation}"
-                problem = self._patch_relation(relation, rel_state, dirty, mapping, store, outcome)
+                problem = self._patch_relation(
+                    relation, rel_state, dirty, mapping, store, outcome, row_diffs, phase_touched
+                )
                 if problem is not None:
                     rel_state.mark_stale(problem)
                     return problem
                 if relation not in outcome.relations:
                     outcome.relations.append(relation)
+            # The patched rows' lineage changed: splice their entries into
+            # the inverted maps so the next resolution (including phase D of
+            # this very apply) reads current provenance without re-inverting.
+            index.apply_change_set(change_set, phase_touched)
+            for relation, keys in phase_touched.items():
+                touched_lineage.setdefault(relation, set()).update(keys)
         except Exception as exc:  # noqa: BLE001 — any patch failure must fall back
             return f"patch failed: {type(exc).__name__}: {exc}"
         return None
+
+    # -- metric facts ----------------------------------------------------------
+
+    def _patch_metrics(
+        self,
+        change_set: ChangeSet,
+        state,
+        row_diffs: Mapping[str, tuple[dict[str, tuple], dict[str, tuple]]],
+        outcome: IncrementalOutcome,
+    ) -> bool:
+        """Patch the quality sufficient statistics and refresh metric facts.
+
+        Result relations re-derive from the before/after row diff (remove
+        the old contribution, add the new); sources with appended rows add
+        the tail rows' contributions. Anything the accumulators cannot
+        represent — a changed data context or CFD set (the context token),
+        a row-count drift — rebuilds the affected entries from the patched
+        tables, which is still a table scan, not a pipeline run. Returns
+        False only when the session has no stash to patch (the next full
+        run recomputes the metrics from scratch).
+        """
+        kb = self._kb
+        # The metric transducer snapshots the stash into the incremental
+        # state; fall back to the KB artifact for sessions that predate it.
+        stash = state.quality or quality_stats_stash(kb, create=False)
+        if stash is None or not stash.entries:
+            return False  # metrics never computed — let the transducer run
+        from repro.quality.transducers import _metric_context
+
+        context = None
+        refreshed: list[str] = []
+
+        def rebuild(relation: str) -> None:
+            nonlocal context
+            if context is None:
+                context = _metric_context(kb)
+            subject_kind = stash.entries[relation].subject_kind
+            stash.entries[relation] = build_relation_entry(
+                kb, relation, subject_kind, context=context
+            )
+
+        token = quality_context_token(kb)
+        if stash.context_token != token:
+            # The evaluation context itself changed (CFD revision, new data
+            # context): every accumulator embeds it, so rebuild them all
+            # against the already-patched tables.
+            for relation in sorted(stash.entries):
+                if kb.has_table(relation):
+                    rebuild(relation)
+                    refreshed.append(relation)
+                else:
+                    stash.entries.pop(relation)
+            stash.context_token = token
+        else:
+            appended_rows: dict[str, int] = {}
+            rebuild_sources: set[str] = set()
+            for delta in change_set.source_deltas():
+                if delta.removed_indexes:
+                    rebuild_sources.add(delta.relation)
+                elif delta.appended:
+                    appended_rows[delta.relation] = (
+                        appended_rows.get(delta.relation, 0) + len(delta.appended)
+                    )
+            for relation in sorted(rebuild_sources):
+                if relation in stash.entries and kb.has_table(relation):
+                    rebuild(relation)
+                    refreshed.append(relation)
+            for relation, count in sorted(appended_rows.items()):
+                entry = stash.entries.get(relation)
+                if entry is None or not kb.has_table(relation):
+                    continue
+                rows = kb.get_table(relation).tuples()
+                if entry.stats.row_count + count != len(rows):
+                    rebuild(relation)  # stats drifted from the table: resync
+                else:
+                    for values in rows[len(rows) - count:]:
+                        entry.stats.add_row(values)
+                refreshed.append(relation)
+            for relation, (old_rows, new_rows) in sorted(row_diffs.items()):
+                entry = stash.entries.get(relation)
+                if entry is None or not kb.has_table(relation):
+                    continue
+                if entry.stats.row_count != len(old_rows):
+                    rebuild(relation)  # stats drifted from the table: resync
+                else:
+                    stats = entry.stats
+                    for key, old in old_rows.items():
+                        new = new_rows.get(key)
+                        if new is None:
+                            stats.remove_row(old)
+                        elif new is not old and new != old:
+                            # Unchanged rows carry the same tuple object
+                            # through the patch; the identity check keeps
+                            # this scan at pointer-compare cost.
+                            stats.replace_row(old, new)
+                    for key, new in new_rows.items():
+                        if key not in old_rows:
+                            stats.add_row(new)
+                refreshed.append(relation)
+
+        for relation in dict.fromkeys(refreshed):
+            entry = stash.entries[relation]
+            # Retract/add: the patched subject's facts are replaced wholesale,
+            # exactly as the metric transducer would on a full re-run.
+            kb.retract_where(Predicates.METRIC, p0=entry.subject_kind, p1=relation)
+            for criterion, value in entry.stats.finalise().as_dict().items():
+                kb.assert_tuple(metric_fact(entry.subject_kind, relation, criterion, value))
+        outcome.metrics_patched = list(dict.fromkeys(refreshed))
+        # Stamped after the assertions: the stash exactly reflects the
+        # patched tables as the engine hands back control, which is what
+        # lets Wrangler.evaluate serve the report without a rescan.
+        stash.synced_revision = kb.revision
+        return True
 
     # -- fallback -------------------------------------------------------------
 
@@ -321,6 +498,11 @@ class IncrementalWrangler:
         re-selection nudge makes it runnable, so the caller's ``run()``
         rebuilds the results rather than quiescing over a half-patched KB.
         """
+        state = incremental_state(self._kb, create=False)
+        if state is not None:
+            # A half-applied patch may have half-updated the inverted index;
+            # the full run re-records lineage and the next revision re-inverts.
+            state.impact = None
         if not evaluated:
             kb = self._kb
             for mapping_id, rank in list(kb.facts(Predicates.MAPPING_SELECTED)):
@@ -337,31 +519,16 @@ class IncrementalWrangler:
         Assignment *scores* are ignored — they move with every feedback
         round but do not affect what a leaf materialises. Only the
         (target, source relation, source attribute) triplets and the join
-        conditions matter.
+        conditions matter (``SchemaMapping.structure_signature``).
         """
-
-        def signature(leaf):
-            return (
-                leaf.kind,
-                tuple(leaf.sources),
-                tuple(
-                    sorted(
-                        (a.target_attribute, a.source_relation, a.source_attribute)
-                        for a in leaf.assignments
-                    )
-                ),
-                tuple(
-                    sorted(
-                        (c.left_relation, c.left_attribute, c.right_relation, c.right_attribute)
-                        for c in leaf.join_conditions
-                    )
-                ),
-            )
-
         if old_mapping is None:
             return None
-        old_leaves = {leaf.sources[0]: signature(leaf) for leaf in old_mapping.leaf_mappings()}
-        new_leaves = {leaf.sources[0]: signature(leaf) for leaf in new_mapping.leaf_mappings()}
+        old_leaves = {
+            leaf.sources[0]: leaf.structure_signature() for leaf in old_mapping.leaf_mappings()
+        }
+        new_leaves = {
+            leaf.sources[0]: leaf.structure_signature() for leaf in new_mapping.leaf_mappings()
+        }
         if set(old_leaves) != set(new_leaves):
             return None
         return {source for source, sig in new_leaves.items() if old_leaves[source] != sig}
@@ -390,6 +557,8 @@ class IncrementalWrangler:
         mapping,
         store: ProvenanceStore,
         outcome: IncrementalOutcome,
+        row_diffs: dict[str, tuple[dict[str, tuple], dict[str, tuple]]],
+        touched_lineage: dict[str, set[str]],
     ) -> str | None:
         """Patch one relation in place; returns a problem string on failure."""
         kb = self._kb
@@ -514,6 +683,18 @@ class IncrementalWrangler:
         all_pairs = kb.get_artifact(DUPLICATES_ARTIFACT_KEY, {})
         all_pairs[relation] = []
         kb.store_artifact(DUPLICATES_ARTIFACT_KEY, all_pairs)
+
+        # (i) bookkeeping for the downstream patches: the before/after row
+        # diff (metric statistics) and every key whose lineage this patch
+        # rewrote (impact-index maintenance). Phase D composes onto phase
+        # A's diff, so the first captured "before" is kept.
+        before = row_diffs[relation][0] if relation in row_diffs else current
+        row_diffs[relation] = (before, dict(zip(emitted, rows)))
+        touched_lineage.setdefault(relation, set()).update(
+            recompute | fresh | removed | dropped | pass2_dropped | set(final_updates)
+        )
+        if dirty.appended or dirty.rebuild_sources:
+            rel_state.source_volumes = mapping_source_volumes(kb.catalog, mapping)
         return None
 
     # -- patch internals -------------------------------------------------------

@@ -31,7 +31,25 @@ __all__ = [
     "RelationState",
     "IncrementalState",
     "incremental_state",
+    "mapping_source_volumes",
 ]
+
+
+def mapping_source_volumes(catalog, mapping) -> tuple[tuple[str, int], ...]:
+    """(source relation, row count) fingerprint of a mapping's inputs.
+
+    Row counts stand in for source contents — sources are logically
+    immutable apart from explicit row appends/removals, which change their
+    counts (the same convention the mapping base-score cache uses). A
+    snapshot whose fingerprint matches the live catalog was materialised
+    from the sources as they stand now.
+    """
+    volumes = []
+    for relation in sorted(mapping.all_sources()):
+        if relation not in catalog:
+            return ()
+        volumes.append((relation, len(catalog.get(relation))))
+    return tuple(volumes)
 
 #: Artifact key under which the session's :class:`IncrementalState` lives.
 INCREMENTAL_STATE_ARTIFACT_KEY = "incremental_state"
@@ -64,6 +82,10 @@ class RelationState:
     pairs: dict[tuple[str, str], float] = field(default_factory=dict)
     #: key → lineage recorded at materialisation time (before any override).
     base_lineage: dict[str, TupleLineage] = field(default_factory=dict)
+    #: (source relation, row count) fingerprint of the mapping's inputs at
+    #: materialisation time — while it matches the live catalog, ``base``
+    #: equals what a fresh execution of ``mapping`` would produce.
+    source_volumes: tuple = ()
     #: Where in the pipeline the snapshot currently is.
     phase: str = PHASE_MATERIALISED
     #: Set when the observed pipeline left the single-fusion-pass shape the
@@ -103,6 +125,14 @@ class IncrementalState:
         #: the materialised results (applied by a full pipeline pass or an
         #: incremental patch). Only unseen annotations dirty rows.
         self.seen_feedback: set[str] = set()
+        #: The session's persistent ImpactIndex (inverted provenance). Built
+        #: lazily by the first resolution that needs it, patched in place by
+        #: the engine afterwards, and dropped whenever a materialisation
+        #: resets the lineage it inverts.
+        self.impact = None
+        #: The quality-metric sufficient statistics as last stashed by the
+        #: quality transducer (shared with the ``quality_stats`` artifact).
+        self.quality = None
 
     def get(self, relation: str) -> RelationState | None:
         """The snapshot of one relation (None when untracked)."""
@@ -115,16 +145,22 @@ class IncrementalState:
         table: Table,
         mapping: Any,
         store: ProvenanceStore | None = None,
+        catalog: Any = None,
     ) -> None:
         """A result was (re-)materialised: reset the relation's snapshot."""
         if not self.enabled:
             return
+        # The lineage underpinning the inverted impact index was re-recorded
+        # wholesale; the next revision re-inverts it once and patches on.
+        self.impact = None
         state = RelationState(
             relation=table.name,
             mapping_id=mapping.mapping_id,
             mapping=mapping,
             schema=table.schema,
         )
+        if catalog is not None:
+            state.source_volumes = mapping_source_volumes(catalog, mapping)
         rows = table.tuples()
         keys = table.row_keys()
         state.order = list(keys)
@@ -194,6 +230,12 @@ class IncrementalState:
         if not self.enabled:
             return
         self.seen_feedback |= feedback_ids
+
+    def observe_quality_stats(self, stash: Any) -> None:
+        """The quality transducer (re-)stashed the metric statistics."""
+        if not self.enabled:
+            return
+        self.quality = stash
 
     # -- summaries ------------------------------------------------------------
 

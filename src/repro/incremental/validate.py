@@ -47,8 +47,11 @@ class RoundCheck:
     tables_equal: bool
     selection_equal: bool
     matches_equal: bool
+    #: Whether the patched metric statistics finalise to exactly the report
+    #: a full recomputation over the current tables produces (both sessions).
+    metrics_equal: bool = True
     #: Whether the incremental engine patched (False → it fell back).
-    patched: bool
+    patched: bool = False
     fallback_reason: str = ""
     seconds_incremental: float = 0.0
     seconds_full: float = 0.0
@@ -57,7 +60,12 @@ class RoundCheck:
     @property
     def ok(self) -> bool:
         """Equality held for this round (patched or not)."""
-        return self.tables_equal and self.selection_equal and self.matches_equal
+        return (
+            self.tables_equal
+            and self.selection_equal
+            and self.matches_equal
+            and self.metrics_equal
+        )
 
 
 @dataclass
@@ -115,6 +123,38 @@ def _prepare(scenario: Scenario, config: WranglerConfig):
     if scenario.reference is not None or scenario.master is not None:
         wrangler.run("data_context", evaluate=False)
     return wrangler
+
+
+def _compare_reports(left, right, where: str) -> str:
+    """Empty string when two quality reports are exactly equal."""
+    if left is None or right is None:
+        if left is right:
+            return ""
+        return f"{where}: one report is missing"
+    if left.as_dict() != right.as_dict():
+        return f"{where}: criteria differ: {left.as_dict()} vs {right.as_dict()}"
+    if left.attribute_completeness != right.attribute_completeness:
+        return f"{where}: per-attribute completeness differs"
+    if left.row_count != right.row_count:
+        return f"{where}: row counts differ: {left.row_count} vs {right.row_count}"
+    return ""
+
+
+def _compare_metrics(incremental_session, full_session) -> str:
+    """The incremental-metrics equality contract, checked three ways.
+
+    The incremental session's maintained statistics must finalise to the
+    same report as a forced full recomputation over its own result — and
+    both must equal the full session's recomputation, so the maintained
+    numbers cannot silently drift from what a from-scratch pipeline knows.
+    """
+    fast = incremental_session.evaluate()
+    slow = incremental_session.evaluate(use_stats=False)
+    full = full_session.evaluate(use_stats=False)
+    mismatch = _compare_reports(fast, slow, "incremental stats vs rescan")
+    if mismatch:
+        return mismatch
+    return _compare_reports(slow, full, "incremental vs full session")
 
 
 def _compare_tables(left, right) -> str:
@@ -195,6 +235,7 @@ def check_incremental(
         left = incremental_session.result()
         right = full_session.result()
         mismatch = _compare_tables(left, right)
+        metrics_mismatch = _compare_metrics(incremental_session, full_session)
         left_selected = incremental_session.selected_mapping()
         right_selected = full_session.selected_mapping()
         left_id = left_selected.mapping_id if left_selected else None
@@ -211,11 +252,12 @@ def check_incremental(
                 tables_equal=not mismatch,
                 selection_equal=left_id == right_id,
                 matches_equal=left_matches == right_matches,
+                metrics_equal=not metrics_mismatch,
                 patched=bool(outcome.get("applied")),
                 fallback_reason="" if outcome.get("applied") else str(outcome.get("reason", "")),
                 seconds_incremental=incremental_elapsed,
                 seconds_full=full_elapsed,
-                mismatch=mismatch,
+                mismatch=mismatch or metrics_mismatch,
             )
         )
     return report

@@ -121,6 +121,34 @@ class SchemaMapping:
         assignment = self.assignment_for(target_attribute)
         return [assignment] if assignment else []
 
+    def structure_signature(self) -> tuple:
+        """A score-free structural fingerprint of what this mapping materialises.
+
+        Two mappings with equal signatures execute to identical tables:
+        assignment *scores* are excluded (they move with every feedback
+        round without affecting the produced rows). Used by the incremental
+        engine to decide whether a cached materialisation is still valid for
+        an id-stable mapping whose shape may have drifted.
+        """
+        if self.kind == "union":
+            return (self.kind, tuple(child.structure_signature() for child in self.children))
+        return (
+            self.kind,
+            tuple(self.sources),
+            tuple(
+                sorted(
+                    (a.target_attribute, a.source_relation, a.source_attribute)
+                    for a in self.assignments
+                )
+            ),
+            tuple(
+                sorted(
+                    (c.left_relation, c.left_attribute, c.right_relation, c.right_attribute)
+                    for c in self.join_conditions
+                )
+            ),
+        )
+
     def leaf_mappings(self) -> list["SchemaMapping"]:
         """The non-union mappings at the leaves of this mapping."""
         if self.kind == "union":

@@ -17,7 +17,7 @@ lineage-targeted feedback (see :mod:`repro.provenance.feedback`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.mapping.execution import MappingExecutor
 from repro.mapping.model import SchemaMapping
@@ -72,8 +72,10 @@ class MappingScorer:
         mapping_penalties: Mapping[str, Mapping[str, float]] | None = None,
         completeness_weights: Mapping[str, float] | None = None,
         coverage_prior: bool = True,
+        base_table_provider: Callable[[SchemaMapping], Table | None] | None = None,
     ):
         self._executor = MappingExecutor(catalog)
+        self._base_table_provider = base_table_provider
         self._target_schema = target_schema
         self._reference = reference
         self._reference_key = list(reference_key)
@@ -94,10 +96,22 @@ class MappingScorer:
         learned CFDs. Feedback does not enter here, which is what makes the
         result cacheable across feedback-driven re-scores (see ``base_cache``
         in :meth:`score_all`).
+
+        A ``base_table_provider`` (when configured) can serve the mapping's
+        freshly-materialised rows from an existing snapshot — the
+        incremental engine's pipeline state does this for the selected
+        mapping, so a data-context or CFD refresh re-evaluates the winner
+        without re-executing its joins. The provider must return exactly
+        what :meth:`MappingExecutor.execute` would; None falls back to a
+        real execution.
         """
-        table = self._executor.execute(
-            mapping, self._target_schema, result_name=f"__candidate_{mapping.mapping_id}"
-        )
+        table = None
+        if self._base_table_provider is not None:
+            table = self._base_table_provider(mapping)
+        if table is None:
+            table = self._executor.execute(
+                mapping, self._target_schema, result_name=f"__candidate_{mapping.mapping_id}"
+            )
         cfds = self._learned_cfds.cfds if self._learned_cfds else []
         witnesses = self._learned_cfds.witnesses if self._learned_cfds else {}
         report = evaluate_quality(

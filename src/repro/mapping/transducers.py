@@ -19,7 +19,7 @@ from repro.core.facts import (
 )
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.transducer import Activity, Transducer, TransducerResult
-from repro.incremental.state import incremental_state
+from repro.incremental.state import incremental_state, mapping_source_volumes
 from repro.matching.correspondence import MatchSet
 from repro.mapping.execution import MappingExecutor
 from repro.mapping.generation import MappingGenerator, MappingGeneratorConfig
@@ -28,6 +28,7 @@ from repro.mapping.selection import MappingScorer, MappingSelector
 from repro.provenance.feedback import LINEAGE_PENALTIES_ARTIFACT_KEY
 from repro.provenance.model import provenance_store
 from repro.quality.transducers import CFD_ARTIFACT_KEY
+from repro.relational.table import Table
 
 __all__ = [
     "MAPPINGS_ARTIFACT_KEY",
@@ -186,7 +187,48 @@ class MappingQualityTransducer(Transducer):
             feedback_penalties=kb.get_artifact(FEEDBACK_PENALTIES_ARTIFACT_KEY, {}),
             mapping_penalties=kb.get_artifact(LINEAGE_PENALTIES_ARTIFACT_KEY, {}),
             completeness_weights=_completeness_weights(kb),
+            base_table_provider=_snapshot_base_table_provider(kb),
         )
+
+
+def _snapshot_base_table_provider(kb: KnowledgeBase):
+    """Serve the selected mapping's materialised rows from the pipeline snapshot.
+
+    The incremental state's ``base`` rows are exactly what a fresh
+    :meth:`MappingExecutor.execute` of the snapshot's mapping would produce
+    — *while* the sources still have the row counts they had at
+    materialisation time and the candidate's structure (score-free
+    signature) is unchanged. Inside that window, a base-score refresh (a new
+    data context, refreshed CFDs) re-evaluates the winner from the snapshot
+    instead of re-running its joins; everything outside the window falls
+    back to a real execution. Returns None when the session does not track
+    incremental state.
+    """
+    state = incremental_state(kb, create=False)
+    if state is None or not state.enabled:
+        return None
+
+    def provider(mapping) -> Table | None:
+        rel_state = state.get(result_relation_name(mapping.target_relation))
+        if rel_state is None or not rel_state.ready:
+            return None
+        if rel_state.mapping_id != mapping.mapping_id or rel_state.mapping is None:
+            return None
+        if not rel_state.source_volumes:
+            return None
+        if rel_state.source_volumes != mapping_source_volumes(kb.catalog, rel_state.mapping):
+            return None
+        if rel_state.mapping.structure_signature() != mapping.structure_signature():
+            return None
+        rows = []
+        for key in rel_state.order:
+            row = rel_state.base.get(key)
+            if row is None:
+                return None  # snapshot incomplete: execute for real
+            rows.append(row)
+        return Table(rel_state.schema, rows, coerce=False, validate=False)
+
+    return provider
 
 
 class SourceSelectionTransducer(Transducer):
@@ -308,7 +350,9 @@ class ResultMaterialisationTransducer(Transducer):
             kb.catalog.register(table, replace=True)
         state = incremental_state(kb, create=False)
         if state is not None:
-            state.observe_materialised(table, mapping, provenance_store(kb, create=False))
+            state.observe_materialised(
+                table, mapping, provenance_store(kb, create=False), catalog=kb.catalog
+            )
         # Refresh the result fact (retract results for this target first).
         for row in list(kb.facts(Predicates.RESULT)):
             if row[0] == result_name:

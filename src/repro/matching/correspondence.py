@@ -40,13 +40,23 @@ class Correspondence:
     def with_score(self, score: float) -> "Correspondence":
         """A copy with a revised score (clamped to [0, 1])."""
         clamped = min(1.0, max(0.0, score))
-        return Correspondence(self.source_relation, self.source_attribute,
-                              self.target_relation, self.target_attribute, clamped)
+        return Correspondence(
+            self.source_relation,
+            self.source_attribute,
+            self.target_relation,
+            self.target_attribute,
+            clamped,
+        )
 
     def to_fact(self) -> tuple[str, tuple]:
         """Render as a ``match`` KB fact."""
-        return match_fact(self.source_relation, self.source_attribute,
-                          self.target_relation, self.target_attribute, self.score)
+        return match_fact(
+            self.source_relation,
+            self.source_attribute,
+            self.target_relation,
+            self.target_attribute,
+            self.score,
+        )
 
     def __str__(self) -> str:
         return (f"{self.source_relation}.{self.source_attribute} ~ "
@@ -111,8 +121,9 @@ class MatchSet:
         """Correspondences into one target relation."""
         return MatchSet(c for c in self if c.target_relation == target_relation)
 
-    def best_per_target_attribute(self, source_relation: str,
-                                  target_relation: str) -> dict[str, Correspondence]:
+    def best_per_target_attribute(
+        self, source_relation: str, target_relation: str
+    ) -> dict[str, Correspondence]:
         """For one source/target pair, the best correspondence per target attribute."""
         best: dict[str, Correspondence] = {}
         for correspondence in self:
@@ -153,8 +164,11 @@ class MatchSet:
             source_relation, source_attribute, tgt_relation, target_attribute, score = row
             if target_relation is not None and tgt_relation != target_relation:
                 continue
-            matches.add(Correspondence(source_relation, source_attribute,
-                                       tgt_relation, target_attribute, float(score)))
+            matches.add(
+                Correspondence(
+                    source_relation, source_attribute, tgt_relation, target_attribute, float(score)
+                )
+            )
         return matches
 
     def __repr__(self) -> str:

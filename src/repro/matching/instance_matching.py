@@ -46,8 +46,9 @@ class InstanceMatcher:
         """The matcher configuration."""
         return self._config
 
-    def match(self, source: Table, target_instances: Table, *,
-              target_relation: str | None = None) -> MatchSet:
+    def match(
+        self, source: Table, target_instances: Table, *, target_relation: str | None = None
+    ) -> MatchSet:
         """Match ``source`` columns against columns of ``target_instances``.
 
         ``target_instances`` is typically a data-context table whose
@@ -72,8 +73,9 @@ class InstanceMatcher:
                         relation, target_attribute.name, round(score, 6)))
         return matches
 
-    def column_similarity(self, source_values: Sequence[Any],
-                          target_values: Sequence[Any]) -> float:
+    def column_similarity(
+        self, source_values: Sequence[Any], target_values: Sequence[Any]
+    ) -> float:
         """Similarity of two column samples.
 
         String columns use Jaccard overlap of normalised values; numeric
@@ -86,8 +88,9 @@ class InstanceMatcher:
             return 0.0
         if source_numeric:
             exact = jaccard_similarity(source_values, target_values)
-            distributional = numeric_overlap([float(v) for v in source_values],
-                                             [float(v) for v in target_values])
+            distributional = numeric_overlap(
+                [float(v) for v in source_values], [float(v) for v in target_values]
+            )
             weight = self._config.overlap_weight
             return weight * exact + (1.0 - weight) * distributional
         return jaccard_similarity(

@@ -46,12 +46,22 @@ class SchemaMatcher:
         matches = MatchSet()
         for source_attribute in source.attributes:
             for target_attribute in target.attributes:
-                score = self.score(source_attribute.name, source_attribute.dtype,
-                                   target_attribute.name, target_attribute.dtype)
+                score = self.score(
+                    source_attribute.name,
+                    source_attribute.dtype,
+                    target_attribute.name,
+                    target_attribute.dtype,
+                )
                 if score >= self._config.threshold:
-                    matches.add(Correspondence(
-                        source.name, source_attribute.name,
-                        target.name, target_attribute.name, round(score, 6)))
+                    matches.add(
+                        Correspondence(
+                            source.name,
+                            source_attribute.name,
+                            target.name,
+                            target_attribute.name,
+                            round(score, 6),
+                        )
+                    )
         return matches
 
     def match_many(self, sources: list[Schema], target: Schema) -> MatchSet:
@@ -61,8 +71,9 @@ class SchemaMatcher:
             matches = matches.merge(self.match(source, target))
         return matches
 
-    def score(self, source_name: str, source_type: DataType,
-              target_name: str, target_type: DataType) -> float:
+    def score(
+        self, source_name: str, source_type: DataType, target_name: str, target_type: DataType
+    ) -> float:
         """Score one attribute pair from names and declared types."""
         name_score = name_similarity(source_name, target_name)
         type_score = self._type_compatibility(source_type, target_type)

@@ -37,9 +37,12 @@ class SchemaMatchingTransducer(Transducer):
         self._matcher = SchemaMatcher(config)
 
     def run(self, kb: KnowledgeBase) -> TransducerResult:
-        sources = [kb.schema_of(name) for name in
-                   sorted(row[0] for row in kb.facts(Predicates.SCHEMA)
-                          if row[1] == Predicates.ROLE_SOURCE)]
+        sources = [
+            kb.schema_of(name)
+            for name in sorted(
+                row[0] for row in kb.facts(Predicates.SCHEMA) if row[1] == Predicates.ROLE_SOURCE
+            )
+        ]
         targets = [kb.schema_of(name) for name in kb.target_relations()]
         matches = MatchSet()
         for target in targets:
@@ -48,7 +51,7 @@ class SchemaMatchingTransducer(Transducer):
         return TransducerResult(
             facts_added=added,
             notes=f"{len(matches)} schema-level correspondences "
-                  f"({len(sources)} sources x {len(targets)} targets)",
+            f"({len(sources)} sources x {len(targets)} targets)",
             details={"correspondences": [str(c) for c in matches]},
         )
 
@@ -101,6 +104,6 @@ class InstanceMatchingTransducer(Transducer):
         return TransducerResult(
             facts_added=added,
             notes=f"{len(matches)} instance-level correspondences from "
-                  f"{compared} source/context comparisons",
+            f"{compared} source/context comparisons",
             details={"correspondences": [str(c) for c in matches]},
         )

@@ -23,6 +23,14 @@ from repro.quality.profiling import (
     value_overlap,
 )
 from repro.quality.repair import CFDRepairer, RepairAction, RepairResult
+from repro.quality.stats import (
+    AccuracyStats,
+    CompletenessStats,
+    ConsistencyStats,
+    QualityStats,
+    RelevanceStats,
+    build_stats,
+)
 from repro.quality.transducers import (
     CFD_ARTIFACT_KEY,
     CFDLearningTransducer,
@@ -44,6 +52,12 @@ __all__ = [
     "RepairResult",
     "QualityReport",
     "evaluate_quality",
+    "QualityStats",
+    "CompletenessStats",
+    "AccuracyStats",
+    "ConsistencyStats",
+    "RelevanceStats",
+    "build_stats",
     "attribute_completeness",
     "table_completeness",
     "accuracy_against_reference",

@@ -104,6 +104,17 @@ class CFD:
         """
         if not self.applies_to(row):
             return True
+        return self.check_applicable(row, witness=witness)
+
+    def check_applicable(
+        self, row: Mapping[str, Any], *, witness: Mapping[tuple, Any] | None = None
+    ) -> bool:
+        """:meth:`check_row` for a row already known to pass :meth:`applies_to`.
+
+        Lets single-pass consumers (the consistency sufficient statistics)
+        count checkable cells and violations without evaluating the pattern
+        match twice per (row, CFD) pair.
+        """
         value = row.get(self.rhs)
         if self.is_constant:
             return _values_equal(value, self.rhs_pattern)

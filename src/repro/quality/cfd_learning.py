@@ -107,7 +107,11 @@ class CFDLearner:
             else:
                 mapped_lhs, mapped_rhs = tuple(lhs), rhs
             counter += 1
-            cfd_id = f"cfd_{relation}_{counter}"
+            # Ids are namespaced by the data-context table the dependency was
+            # learned from: two context tables bound to one target would
+            # otherwise re-number from 1 and their witness indexes would
+            # overwrite each other in ``LearnedCFDs.witnesses``.
+            cfd_id = f"cfd_{reference.name}_{relation}_{counter}"
             support = self._fd_support(reference, lhs)
             variable = CFD(
                 cfd_id=cfd_id,

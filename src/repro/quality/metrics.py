@@ -7,6 +7,13 @@ data. Accuracy is measured against reference/master/ground-truth data, and
 relevance as coverage of the entities the user cares about (master data).
 
 All metrics return values in [0, 1]; higher is better.
+
+Every function here is a thin wrapper over the sufficient-statistic layer
+(:mod:`repro.quality.stats`): build the criterion's accumulator over the
+table, then finalise. That makes the scores *maintainable* — the
+incremental engine patches the accumulators row-by-row instead of
+rescanning — while the scan API (and every number it produces) stays
+exactly as before.
 """
 
 from __future__ import annotations
@@ -14,10 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.quality.cfd import CFD, find_violations
-from repro.relational.keys import normalise_key_tuple
+from repro.quality.cfd import CFD
+from repro.quality.stats import (
+    AccuracyStats,
+    CompletenessStats,
+    ConsistencyStats,
+    RelevanceStats,
+    build_stats,
+)
 from repro.relational.table import Table
-from repro.relational.types import is_null
 
 __all__ = [
     "attribute_completeness",
@@ -35,7 +47,13 @@ def attribute_completeness(table: Table, attribute: str) -> float:
     """Fraction of non-null values in one attribute."""
     if len(table) == 0:
         return 0.0
-    return 1.0 - table.null_count(attribute) / len(table)
+    table.schema.position(attribute)  # unknown attributes raise, as before
+    stats = CompletenessStats(
+        row_names=tuple(table.schema.attribute_names), attributes=(attribute,)
+    )
+    for values in table.tuples():
+        stats.add_row(values)
+    return stats.attribute_completeness(attribute)
 
 
 def table_completeness(
@@ -51,18 +69,19 @@ def table_completeness(
     """
     if attributes is not None:
         names = list(attributes)
+        if len(table) > 0:
+            for name in names:
+                # Unknown attributes raise exactly when the old per-attribute
+                # scans would have (an empty table short-circuited first).
+                table.schema.position(name)
     else:
         names = [n for n in table.schema.attribute_names if not n.startswith("_")]
-    if not names:
-        return 0.0
-    if weights:
-        total_weight = sum(weights.get(name, 0.0) for name in names)
-        if total_weight > 0:
-            weighted = sum(
-                attribute_completeness(table, name) * weights.get(name, 0.0) for name in names
-            )
-            return weighted / total_weight
-    return sum(attribute_completeness(table, name) for name in names) / len(names)
+    stats = CompletenessStats(
+        row_names=tuple(table.schema.attribute_names), attributes=tuple(names)
+    )
+    for values in table.tuples():
+        stats.add_row(values)
+    return stats.score(weights=weights)
 
 
 def accuracy_against_reference(
@@ -76,47 +95,14 @@ def accuracy_against_reference(
     measures correctness of what can be checked, completeness handles
     missingness).
     """
-    shared = [
-        name
-        for name in table.schema.attribute_names
-        if name in reference.schema and name not in key and not name.startswith("_")
-    ]
-    names = [
-        name
-        for name in (attributes if attributes is not None else shared)
-        if name in reference.schema
-    ]
-    if not names:
+    stats = AccuracyStats.from_reference(
+        table.schema.attribute_names, reference, key, attributes
+    )
+    if not stats.names:
         return 0.0
-    reference_index: dict[tuple, dict[str, Any]] = {}
-    for row in reference.rows():
-        index_key = normalise_key_tuple(row[k] for k in key)
-        if any(part is None for part in index_key):
-            continue
-        reference_index.setdefault(index_key, row.to_dict())
-    checked = 0
-    correct = 0
-    for row in table.rows():
-        index_key = normalise_key_tuple(row.get(k) for k in key)
-        if any(part is None for part in index_key):
-            continue
-        expected = reference_index.get(index_key)
-        if expected is None:
-            continue
-        for name in names:
-            expected_value = expected.get(name)
-            if is_null(expected_value):
-                continue
-            actual = row.get(name)
-            if is_null(actual):
-                # Missing values are completeness's concern, not accuracy's.
-                continue
-            checked += 1
-            if _cell_equal(actual, expected_value):
-                correct += 1
-    if checked == 0:
-        return 0.0
-    return correct / checked
+    for values in table.tuples():
+        stats.add_row(values)
+    return stats.value()
 
 
 def attribute_accuracy(table: Table, reference: Table, key: Sequence[str], attribute: str) -> float:
@@ -127,19 +113,23 @@ def attribute_accuracy(table: Table, reference: Table, key: Sequence[str], attri
 def consistency(
     table: Table, cfds: Iterable[CFD], *, witnesses: Mapping[str, Mapping[tuple, Any]] | None = None
 ) -> float:
-    """1 − (violating cells / checkable cells) for the given CFDs."""
-    cfd_list = list(cfds)
-    if not cfd_list or len(table) == 0:
+    """1 − (violating cells / checkable cells) for the given CFDs.
+
+    A single pass over the rows counts checkable cells and violations
+    together (via :class:`~repro.quality.stats.ConsistencyStats`) — the
+    old implementation scanned once for ``applies_to`` and again inside
+    ``find_violations``.
+    """
+    stats = ConsistencyStats(
+        row_names=tuple(table.schema.attribute_names),
+        cfds=tuple(cfds),
+        witnesses=dict(witnesses or {}),
+    )
+    if not stats.cfds:
         return 1.0
-    checkable = 0
-    for cfd in cfd_list:
-        for row in table.rows():
-            if cfd.applies_to(row):
-                checkable += 1
-    if checkable == 0:
-        return 1.0
-    violations = find_violations(table, cfd_list, witnesses=witnesses)
-    return max(0.0, 1.0 - len(violations) / checkable)
+    for values in table.tuples():
+        stats.add_row(values)
+    return stats.value()
 
 
 def relevance(table: Table, master: Table, key: Sequence[str]) -> float:
@@ -149,22 +139,10 @@ def relevance(table: Table, master: Table, key: Sequence[str]) -> float:
     user is interested in"; relevance (a recall-style measure) is how much of
     that list the wrangled result covers.
     """
-    if len(master) == 0:
-        return 1.0
-    master_keys = set()
-    for row in master.rows():
-        master_key = normalise_key_tuple(row.get(k) for k in key)
-        if any(part is None for part in master_key):
-            continue
-        master_keys.add(master_key)
-    if not master_keys:
-        return 1.0
-    covered = set()
-    for row in table.rows():
-        table_key = normalise_key_tuple(row.get(k) for k in key)
-        if table_key in master_keys:
-            covered.add(table_key)
-    return len(covered) / len(master_keys)
+    stats = RelevanceStats.from_master(table.schema.attribute_names, master, key)
+    for values in table.tuples():
+        stats.add_row(values)
+    return stats.value()
 
 
 @dataclass
@@ -224,38 +202,18 @@ def evaluate_quality(
     paper's point that some metrics *cannot be determined* without data
     context. The same convention applies to relevance without master data.
     Consistency without CFDs is 1.0 (there is nothing to violate).
+
+    Implemented as ``build_stats(...).finalise()``; callers that need to
+    keep the report maintainable hold on to the intermediate
+    :class:`~repro.quality.stats.QualityStats` instead.
     """
-    completeness_by_attribute = {
-        name: attribute_completeness(table, name)
-        for name in table.schema.attribute_names
-        if not name.startswith("_")
-    }
-    completeness_score = table_completeness(table, weights=completeness_weights)
-    if reference is not None and reference_key:
-        accuracy_score = accuracy_against_reference(table, reference, reference_key)
-    else:
-        accuracy_score = 0.5
-    consistency_score = consistency(table, cfds, witnesses=witnesses)
-    if master is not None and master_key:
-        relevance_score = relevance(table, master, master_key)
-    else:
-        relevance_score = 0.5
-    return QualityReport(
-        relation=table.name,
-        completeness=completeness_score,
-        accuracy=accuracy_score,
-        consistency=consistency_score,
-        relevance=relevance_score,
-        attribute_completeness=completeness_by_attribute,
-        row_count=len(table),
-    )
-
-
-def _cell_equal(left: Any, right: Any) -> bool:
-    if is_null(left) or is_null(right):
-        return False
-    if isinstance(left, str) and isinstance(right, str):
-        return left.strip().lower() == right.strip().lower()
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
-        return abs(float(left) - float(right)) < 1e-9
-    return left == right
+    return build_stats(
+        table,
+        reference=reference,
+        reference_key=reference_key,
+        cfds=cfds,
+        witnesses=witnesses,
+        master=master,
+        master_key=master_key,
+        completeness_weights=completeness_weights,
+    ).finalise()

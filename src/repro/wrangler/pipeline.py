@@ -63,6 +63,7 @@ from repro.quality.transducers import (
     CFDLearningTransducer,
     DataRepairTransducer,
     QualityMetricTransducer,
+    quality_stats_stash,
 )
 from repro.relational.schema import Schema
 from repro.relational.table import Table
@@ -434,13 +435,21 @@ class Wrangler:
         return render_lineage(self.explain(row, column))
 
     def evaluate(self, *, ground_truth: Table | None = None,
-                 key: Sequence[str] = ("postcode", "price")) -> QualityReport | None:
+                 key: Sequence[str] = ("postcode", "price"),
+                 use_stats: bool | None = None) -> QualityReport | None:
         """Quality of the current result.
 
         With ``ground_truth`` the result is scored against it (accuracy and
         relevance use the ground truth); otherwise whatever reference/master
         data the data context provides is used — mirroring what the system
         itself can know.
+
+        When the session's maintained quality statistics exactly reflect
+        the current result (freshly patched by the incremental engine, or
+        just recomputed by the metric transducer) and the evaluation
+        context matches, the report is finalised from them without
+        rescanning the table. ``use_stats=False`` forces the full
+        recomputation (the validation harness compares both).
         """
         table = self.result()
         if table is None:
@@ -461,15 +470,53 @@ class Wrangler:
             )
         reference, reference_key = self._context_table(Predicates.CONTEXT_REFERENCE)
         master, master_key = self._context_table(Predicates.CONTEXT_MASTER)
+        filtered_cfds = [cfd for cfd in cfds if cfd.rhs in table.schema]
+        if use_stats is not False:
+            report = self._stats_report(
+                table, reference, reference_key, filtered_cfds, master, master_key
+            )
+            if report is not None:
+                return report
         return evaluate_quality(
             table,
             reference=reference,
             reference_key=reference_key,
-            cfds=[cfd for cfd in cfds if cfd.rhs in table.schema],
+            cfds=filtered_cfds,
             witnesses=witnesses,
             master=master,
             master_key=master_key,
         )
+
+    def _stats_report(self, table: Table, reference, reference_key,
+                      cfds, master, master_key) -> QualityReport | None:
+        """The maintained-statistics report, or None when it cannot be trusted.
+
+        Trust requires the stash to be exactly synced with the knowledge
+        base (nothing mutated since the engine patched or the transducer
+        ran) *and* the entry to have been built against the very same
+        evaluation inputs this evaluate() call resolved — same reference
+        and master tables, same join keys, same CFD list.
+        """
+        stash = quality_stats_stash(self._kb, create=False)
+        if stash is None or not stash.fresh(self._kb, table.name):
+            return None
+        entry = stash.get(table.name)
+        stats = entry.stats
+        if stats.row_count != len(table):
+            return None
+        want_reference = reference.name if reference is not None and reference_key else None
+        want_master = master.name if master is not None and master_key else None
+        if entry.reference_name != want_reference or entry.master_name != want_master:
+            return None
+        have_reference_key = stats.accuracy.key if stats.accuracy is not None else None
+        if want_reference is not None and have_reference_key != tuple(reference_key):
+            return None
+        have_master_key = stats.relevance.key if stats.relevance is not None else None
+        if want_master is not None and have_master_key != tuple(master_key):
+            return None
+        if stats.consistency.cfds != tuple(cfds):
+            return None
+        return stats.finalise()
 
     def describe_transducers(self) -> list[dict]:
         """Table-1-style description of the registered transducers."""

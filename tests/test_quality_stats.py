@@ -1,0 +1,304 @@
+"""Tests for the quality sufficient-statistic layer (`repro.quality.stats`).
+
+The contract under test: a maintained :class:`QualityStats` — fed any mix of
+``add_row`` / ``remove_row`` / ``replace_row`` deltas — finalises to exactly
+the report a full recomputation over the resulting row multiset produces,
+and ``merge`` combines shard accumulators associatively.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.quality import (
+    CFD,
+    CFDLearner,
+    CFDLearnerConfig,
+    build_stats,
+    build_witness,
+    consistency,
+    evaluate_quality,
+    find_violations,
+)
+from repro.quality.stats import QualityStats
+from repro.quality.transducers import quality_stats_stash
+from repro.relational import Attribute, DataType, Schema, Table
+
+SCHEMA = Schema("listing", [
+    Attribute("street", DataType.STRING),
+    Attribute("postcode", DataType.STRING),
+    Attribute("price", DataType.FLOAT),
+    Attribute("bedrooms", DataType.INTEGER),
+    Attribute("_row_id", DataType.STRING),
+])
+
+REFERENCE = Table(Schema("reference", [
+    Attribute("street", DataType.STRING),
+    Attribute("postcode", DataType.STRING),
+    Attribute("price", DataType.FLOAT),
+]), [
+    ("Oak Street", "M1 1AA", 100.0),
+    ("Elm Road", "M5 3CC", 200.0),
+    ("Mill Lane", "SK1 2EF", 150.0),
+])
+
+MASTER = Table(Schema("master", [Attribute("postcode", DataType.STRING)]),
+               [("M1 1AA",), ("M5 3CC",), ("ZZ9 9ZZ",)])
+
+CFDS = (
+    CFD("v1", "listing", ("postcode",), "street"),
+    CFD("c1", "listing", ("postcode",), "street",
+        lhs_pattern=(("postcode", "M1 1AA"),), rhs_pattern="Oak Street"),
+)
+WITNESSES = {"v1": {("m11aa",): "Oak Street", ("m53cc",): "Elm Road"}}
+
+POSTCODES = ["M1 1AA", "m1 1aa", "M5 3CC", "SK1 2EF", "ZZ9 9ZZ", None]
+STREETS = ["Oak Street", "Elm Road", "Mill Lane", "Wrong Road", None]
+
+
+def row_strategy():
+    return st.tuples(
+        st.sampled_from(STREETS),
+        st.sampled_from(POSTCODES),
+        st.sampled_from([100.0, 150.0, 200.0, 999.0, None]),
+        st.sampled_from([1, 2, 3, None]),
+        st.sampled_from(["s:0", "s:1", "s:2", "s:3", None]),
+    )
+
+
+def context_kwargs():
+    return dict(
+        reference=REFERENCE,
+        reference_key=("postcode",),
+        cfds=CFDS,
+        witnesses=WITNESSES,
+        master=MASTER,
+        master_key=("postcode",),
+    )
+
+
+def assert_reports_equal(left, right):
+    assert left.as_dict() == right.as_dict()
+    assert left.attribute_completeness == right.attribute_completeness
+    assert left.row_count == right.row_count
+
+
+class TestDeltaMaintenance:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        initial=st.lists(row_strategy(), max_size=12),
+        deltas=st.lists(
+            st.tuples(st.sampled_from(["add", "remove", "replace"]), row_strategy(),
+                      row_strategy(), st.integers(min_value=0, max_value=30)),
+            max_size=12,
+        ),
+    )
+    def test_maintained_stats_equal_full_recompute(self, initial, deltas):
+        """Random deltas → finalise == evaluate_quality over the final rows."""
+        stats = QualityStats.for_schema(SCHEMA, relation="listing", **context_kwargs())
+        rows = list(initial)
+        for values in rows:
+            stats.add_row(values)
+        for op, row, replacement, position in deltas:
+            if op == "add":
+                stats.add_row(row)
+                rows.append(row)
+            elif op == "remove" and rows:
+                victim = rows.pop(position % len(rows))
+                stats.remove_row(victim)
+            elif op == "replace" and rows:
+                index = position % len(rows)
+                stats.replace_row(rows[index], replacement)
+                rows[index] = replacement
+        table = Table(SCHEMA, rows, coerce=False, validate=False)
+        assert_reports_equal(stats.finalise(), evaluate_quality(table, **context_kwargs()))
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(base=st.lists(row_strategy(), max_size=10),
+           extra=st.lists(row_strategy(), min_size=1, max_size=8))
+    def test_add_remove_round_trip_restores_exact_counters(self, base, extra):
+        """Adding then removing the same rows restores every counter exactly."""
+        stats = QualityStats.for_schema(SCHEMA, relation="listing", **context_kwargs())
+        for values in base:
+            stats.add_row(values)
+        snapshot = pickle.dumps(stats)
+        for values in extra:
+            stats.add_row(values)
+        for values in reversed(extra):
+            stats.remove_row(values)
+        restored = pickle.loads(snapshot)
+        assert stats.completeness.row_count == restored.completeness.row_count
+        assert stats.completeness.null_counts == restored.completeness.null_counts
+        assert stats.accuracy.checked == restored.accuracy.checked
+        assert stats.accuracy.correct == restored.accuracy.correct
+        assert stats.consistency.checkable == restored.consistency.checkable
+        assert stats.consistency.violations == restored.consistency.violations
+        assert stats.relevance.covered == restored.relevance.covered
+        assert_reports_equal(stats.finalise(), restored.finalise())
+
+
+class TestMerge:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(shards=st.lists(st.lists(row_strategy(), max_size=8), min_size=3, max_size=3))
+    def test_merge_is_associative_across_shards(self, shards):
+        """(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and both equal the whole-table build."""
+
+        def shard_stats(rows):
+            stats = QualityStats.for_schema(SCHEMA, relation="listing", **context_kwargs())
+            for values in rows:
+                stats.add_row(values)
+            return stats
+
+        def clone(stats):
+            return pickle.loads(pickle.dumps(stats))
+
+        a, b, c = (shard_stats(rows) for rows in shards)
+        left = clone(a)
+        left.merge(clone(b))
+        left.merge(clone(c))
+        middle = clone(b)
+        middle.merge(clone(c))
+        right = clone(a)
+        right.merge(middle)
+        assert_reports_equal(left.finalise(), right.finalise())
+        whole = Table(SCHEMA, [row for rows in shards for row in rows],
+                      coerce=False, validate=False)
+        assert_reports_equal(left.finalise(), evaluate_quality(whole, **context_kwargs()))
+
+    def test_merge_rejects_incompatible_configurations(self):
+        import pytest
+
+        with_context = QualityStats.for_schema(SCHEMA, relation="l", **context_kwargs())
+        bare = QualityStats.for_schema(SCHEMA, relation="l")
+        with pytest.raises(ValueError):
+            with_context.merge(bare)
+
+
+class TestSinglePassConsistency:
+    def test_consistency_matches_two_pass_computation(self):
+        """The folded single pass equals the old applies_to + find_violations."""
+        rows = [
+            ("Oak Street", "M1 1AA", 100.0, 2, "s:0"),
+            ("Wrong Road", "M1 1AA", 120.0, 3, "s:1"),
+            ("Elm Road", "M5 3CC", 200.0, None, "s:2"),
+            (None, "SK1 2EF", 150.0, 1, "s:3"),
+            ("Mill Lane", None, 1.0, 1, "s:4"),
+        ]
+        table = Table(SCHEMA, rows, coerce=False, validate=False)
+        checkable = sum(
+            1 for cfd in CFDS for row in table.rows() if cfd.applies_to(row)
+        )
+        violations = find_violations(table, CFDS, witnesses=WITNESSES)
+        expected = max(0.0, 1.0 - len(violations) / checkable)
+        assert consistency(table, CFDS, witnesses=WITNESSES) == expected
+
+    def test_consistency_trivial_cases(self):
+        table = Table(SCHEMA, [("Oak Street", "M1 1AA", 100.0, 2, "s:0")],
+                      coerce=False, validate=False)
+        assert consistency(table, []) == 1.0
+        assert consistency(Table(SCHEMA, []), CFDS, witnesses=WITNESSES) == 1.0
+
+
+class TestCfdIdNamespacing:
+    def test_ids_are_namespaced_by_context_table(self):
+        """Two context tables bound to one target must not share CFD ids."""
+        config = CFDLearnerConfig(min_constant_support=5)
+        addresses = Table(Schema("addresses", ["street", "postcode"]), [
+            ("Oak Street", "M1 1AA"), ("Elm Road", "M5 3CC"),
+        ] * 10)
+        registry = Table(Schema("registry", ["street", "postcode"]), [
+            ("Oak Street", "M1 1AA"), ("Mill Lane", "SK1 2EF"),
+        ] * 10)
+        learner = CFDLearner(config)
+        first = learner.learn(addresses, target_relation="property",
+                              attribute_map={"street": "street", "postcode": "postcode"})
+        second = learner.learn(registry, target_relation="property",
+                               attribute_map={"street": "street", "postcode": "postcode"})
+        first_ids = {cfd.cfd_id for cfd in first.cfds}
+        second_ids = {cfd.cfd_id for cfd in second.cfds}
+        assert first_ids, "expected CFDs from the first context table"
+        assert second_ids, "expected CFDs from the second context table"
+        assert not first_ids & second_ids, "ids must be namespaced per context table"
+        assert all("addresses" in cfd_id for cfd_id in first_ids)
+        # Both witness indexes survive side by side (the old collision
+        # overwrote one with the other).
+        combined = {**first.witnesses, **second.witnesses}
+        assert len(combined) == len(first.witnesses) + len(second.witnesses)
+
+    def test_witness_still_resolves_after_namespacing(self):
+        addresses = Table(Schema("addr", ["street", "postcode"]),
+                          [("Oak Street", "M1 1AA")] * 3)
+        learned = CFDLearner(CFDLearnerConfig(min_constant_support=100)).learn(addresses)
+        for cfd in learned.variable_cfds():
+            assert cfd.cfd_id in learned.witnesses
+            assert learned.witnesses[cfd.cfd_id] == build_witness(
+                addresses, cfd.lhs, cfd.rhs
+            )
+
+
+class TestBuildStats:
+    def test_build_stats_matches_evaluate_quality(self):
+        rows = [
+            ("Oak Street", "M1 1AA", 100.0, 2, "s:0"),
+            ("Wrong Road", "m1 1aa", 999.0, None, "s:1"),
+            (None, "M5 3CC", 200.0, 3, "s:2"),
+        ]
+        table = Table(SCHEMA, rows, coerce=False, validate=False)
+        stats = build_stats(table, **context_kwargs())
+        assert_reports_equal(stats.finalise(), evaluate_quality(table, **context_kwargs()))
+        assert stats.row_count == 3
+
+    def test_stats_are_picklable_with_learned_cfds(self):
+        reference = Table(Schema("ref", ["street", "postcode"]), [
+            ("Oak Street", "M1 1AA"), ("Elm Road", "M5 3CC"),
+        ] * 15)
+        learned = CFDLearner(CFDLearnerConfig(min_constant_support=5)).learn(reference)
+        table = Table(SCHEMA, [("Oak Street", "M1 1AA", 100.0, 2, "s:0")],
+                      coerce=False, validate=False)
+        stats = build_stats(table, cfds=learned.cfds, witnesses=learned.witnesses)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert_reports_equal(clone.finalise(), stats.finalise())
+
+    def test_empty_table_completeness_keeps_old_edge_semantics(self):
+        """Empty tables short-circuit to 0.0 before attribute validation."""
+        import pytest
+
+        from repro.quality import attribute_completeness, table_completeness
+        from repro.relational.errors import UnknownAttributeError
+
+        empty = Table(SCHEMA, [])
+        assert attribute_completeness(empty, "nope") == 0.0
+        assert table_completeness(empty, attributes=["nope"]) == 0.0
+        populated = Table(SCHEMA, [("Oak Street", "M1 1AA", 100.0, 2, "s:0")],
+                          coerce=False, validate=False)
+        with pytest.raises(UnknownAttributeError):
+            attribute_completeness(populated, "nope")
+        with pytest.raises(UnknownAttributeError):
+            table_completeness(populated, attributes=["nope"])
+
+    def test_no_comparable_attributes_skips_reference_index(self):
+        """names == () → 0.0 without paying for the reference index."""
+        from repro.quality.stats import AccuracyStats
+
+        disjoint = Table(Schema("other", [Attribute("postcode", DataType.STRING),
+                                          Attribute("extra", DataType.STRING)]),
+                         [("M1 1AA", "x")])
+        stats = AccuracyStats.from_reference(("postcode", "extra"), disjoint,
+                                             ("postcode", "extra"))
+        assert stats.names == ()
+        assert stats.reference_index == {}
+        assert stats.value() == 0.0
+
+    def test_stash_accessor_creates_once(self):
+        from repro.core import KnowledgeBase
+
+        kb = KnowledgeBase()
+        assert quality_stats_stash(kb, create=False) is None
+        stash = quality_stats_stash(kb)
+        assert quality_stats_stash(kb) is stash
