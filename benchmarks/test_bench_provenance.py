@@ -23,6 +23,7 @@ import time
 from benchmarks.conftest import print_table
 from repro.scenarios.synth import scenario_suite
 from repro.wrangler.batch import BatchConfig, run_batch
+from repro.wrangler.config import WranglerConfig
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
@@ -48,7 +49,7 @@ def _run(track: bool):
     return run_batch(
         provenance_suite(),
         BatchConfig(executor="serial", feedback_budget=FEEDBACK_BUDGET,
-                    track_provenance=track),
+                    wrangler=WranglerConfig(track_provenance=track)),
     )
 
 

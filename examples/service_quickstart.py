@@ -1,0 +1,118 @@
+"""Quickstart for wrangling-as-a-service: one session, three distances.
+
+The same typed requests drive a session in-process, through the background
+job queue, and over HTTP — this example walks all three against a small
+synthetic product catalog, then checkpoints the session and proves the
+restore is bit-identical.
+
+Run with::
+
+    python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.scenarios.synth import SynthConfig
+from repro.service import (
+    BackgroundService,
+    EvaluateRequest,
+    ExplainRequest,
+    RunRequest,
+    ServiceClient,
+    SessionStore,
+    SimulateRequest,
+    WranglingSession,
+)
+
+
+def in_process(checkpoint_dir: Path) -> str:
+    """A session is a Wrangler plus conversation state; handle() dispatches."""
+    print("=== 1. In-process session ===")
+    session = WranglingSession.from_scenario(
+        SynthConfig(family="product_catalog", entities=300, seed=4),
+        name="quickstart",
+    )
+    metrics = session.handle(RunRequest(phase="bootstrap"))
+    print(f"bootstrap: {metrics.rows} rows, overall quality {metrics.overall:.3f}")
+
+    # One simulated feedback round (annotations from ground truth).
+    metrics = session.handle(SimulateRequest(budget=15))
+    print(f"feedback:  {metrics.rows} rows, overall quality {metrics.overall:.3f}")
+
+    explained = session.handle(ExplainRequest(row=0))
+    print(explained.text.splitlines()[0])
+
+    saved = session.checkpoint(str(checkpoint_dir / "quickstart.ckpt"))
+    print(f"checkpointed {saved['bytes']} bytes ({saved['sha256'][:12]}...)")
+
+    restored = WranglingSession.restore(saved["path"])
+    assert restored.fingerprint() == session.fingerprint()
+    print("restore is bit-identical (fingerprints match)\n")
+    return saved["path"]
+
+
+def queued(checkpoint_path: str) -> None:
+    """The async job queue: submit, poll, cancel — sessions stay warm."""
+    print("=== 2. Background job queue ===")
+    store = SessionStore()
+    session = WranglingSession.restore(checkpoint_path)
+    store.add(session)
+    with BackgroundService(store, workers=2) as service:
+        job = service.submit(session.session_id, EvaluateRequest())
+        record = service.wait(job.job_id)
+        print(f"job {record.job_id} -> {record.status}, "
+              f"overall quality {record.result['overall']:.3f}\n")
+
+
+def over_http() -> None:
+    """The HTTP front end (stdlib asyncio server + urllib client)."""
+    import asyncio
+    import threading
+
+    from repro.service import WranglingServer
+
+    print("=== 3. Over HTTP ===")
+    server = WranglingServer(SessionStore(), port=0)
+    ready = threading.Event()
+    shutdown: list = []
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        shutdown.extend([loop, stop])
+        await server.start()
+        ready.set()
+        await stop.wait()
+        await server.stop()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+    thread.start()
+    ready.wait()
+    host, port = server.address
+
+    client = ServiceClient(f"http://{host}:{port}")
+    info = client.create_session({"entities": 200, "seed": 9}, name="http-demo")
+    sid = info["session_id"]
+    metrics = client.perform(sid, RunRequest(phase="bootstrap"))
+    print(f"{client.health()} -> session {sid}")
+    print(f"bootstrap over the wire: {metrics['rows']} rows")
+    metrics = client.perform(sid, SimulateRequest(budget=10))
+    print(f"feedback over the wire:  overall quality {metrics['overall']:.3f}")
+
+    loop, stop = shutdown
+    loop.call_soon_threadsafe(stop.set)
+    thread.join(timeout=10)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = in_process(Path(tmp))
+        queued(path)
+    over_http()
+
+
+if __name__ == "__main__":
+    main()

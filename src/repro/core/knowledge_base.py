@@ -298,6 +298,19 @@ class KnowledgeBase:
         """Sorted keys of stored artifacts."""
         return sorted(self._artifacts)
 
+    # -- serialisation -------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle everything but the model cache (a transient memo holding
+        evaluation engines); session checkpoints rebuild it on first query."""
+        state = self.__dict__.copy()
+        state["_model_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._model_cache = {}
+
     def __repr__(self) -> str:
         return (f"KnowledgeBase(facts={self._facts.count()}, "
                 f"tables={len(self._catalog)}, revision={self._revision})")

@@ -33,7 +33,7 @@ from repro.scenarios.base import Scenario
 from repro.scenarios.synth import SynthConfig, generate_synthetic
 from repro.wrangler.config import WranglerConfig
 
-__all__ = ["RoundCheck", "ValidationReport", "check_incremental", "main"]
+__all__ = ["RoundCheck", "ValidationReport", "check_incremental", "check_restored", "main"]
 
 
 @dataclass
@@ -222,7 +222,7 @@ def check_incremental(
         # Both sides skip the quality-report diagnostic: the comparison (and
         # the timing) is about the re-wrangling itself.
         started = time.perf_counter()
-        incremental_result = incremental_session.apply_feedback(
+        incremental_result = incremental_session._apply_feedback(
             annotations, incremental=True, evaluate=False
         )
         incremental_elapsed = time.perf_counter() - started
@@ -263,6 +263,106 @@ def check_incremental(
     return report
 
 
+def check_restored(
+    scenario: Scenario | SynthConfig | None = None,
+    *,
+    rounds: int = 3,
+    budget: int = 10,
+    seed: int = 0,
+    wrangler_config: WranglerConfig | None = None,
+    checkpoint_path: str | None = None,
+) -> ValidationReport:
+    """Checkpoint → kill → restore must be invisible to the feedback loop.
+
+    The session-persistence counterpart of :func:`check_incremental`: one
+    session stays alive throughout; the other is checkpointed to disk,
+    discarded and restored **before every feedback round** (simulating a
+    process death between rounds). After each round both sessions must hold
+    row-for-row equal result tables, the same selected mapping, the same
+    match facts and exactly equal quality metrics.
+    """
+    import os
+    import tempfile
+
+    from repro.service.api import FeedbackRequest
+    from repro.service.session import WranglingSession
+
+    if scenario is None:
+        scenario = SynthConfig()
+    if isinstance(scenario, SynthConfig):
+        scenario = generate_synthetic(scenario)
+    config = wrangler_config or WranglerConfig()
+    key = tuple(scenario.evaluation_key)
+
+    live = WranglingSession(_prepare(scenario, config), scenario=scenario)
+    survivor = WranglingSession(_prepare(scenario, config), scenario=scenario)
+    report = ValidationReport(scenario=f"{scenario.name}(restore)")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = checkpoint_path or os.path.join(scratch, "survivor.ckpt")
+        for round_number in range(1, rounds + 1):
+            reference_table = live.result()
+            if reference_table is None:
+                break
+            annotations = simulate_feedback(
+                reference_table,
+                scenario.ground_truth,
+                key,
+                budget=budget,
+                seed=seed * 7919 + round_number,
+                strategy="targeted",
+                id_prefix=f"r{round_number}",
+            )
+            request = FeedbackRequest(annotations=tuple(annotations), evaluate=False)
+
+            started = time.perf_counter()
+            live_metrics = live.feedback(request)
+            live_elapsed = time.perf_counter() - started
+
+            # The survivor dies and comes back between rounds.
+            survivor.checkpoint(path)
+            del survivor
+            started = time.perf_counter()
+            survivor = WranglingSession.restore(path)
+            restored_metrics = survivor.feedback(request)
+            restored_elapsed = time.perf_counter() - started
+
+            left = survivor.result()
+            right = live.result()
+            mismatch = _compare_tables(left, right)
+            if not mismatch and restored_metrics.fingerprint != live_metrics.fingerprint:
+                mismatch = (
+                    f"fingerprints differ: {restored_metrics.fingerprint} "
+                    f"vs {live_metrics.fingerprint}"
+                )
+            metrics_mismatch = _compare_metrics(survivor.wrangler, live.wrangler)
+            left_selected = survivor.wrangler.selected_mapping()
+            right_selected = live.wrangler.selected_mapping()
+            left_id = left_selected.mapping_id if left_selected else None
+            right_id = right_selected.mapping_id if right_selected else None
+            left_matches = sorted(survivor.wrangler.kb.facts(Predicates.MATCH))
+            right_matches = sorted(live.wrangler.kb.facts(Predicates.MATCH))
+            outcome = restored_metrics.incremental or {}
+            report.rounds.append(
+                RoundCheck(
+                    round=round_number,
+                    annotations=len(annotations),
+                    rows_incremental=len(left) if left is not None else 0,
+                    rows_full=len(right) if right is not None else 0,
+                    tables_equal=not mismatch,
+                    selection_equal=left_id == right_id,
+                    matches_equal=left_matches == right_matches,
+                    metrics_equal=not metrics_mismatch,
+                    patched=bool(outcome.get("applied")),
+                    fallback_reason="" if outcome.get("applied") else str(outcome.get("reason", "")),
+                    seconds_incremental=restored_elapsed,
+                    seconds_full=live_elapsed,
+                    mismatch=mismatch or metrics_mismatch,
+                )
+            )
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; exits non-zero when ``--check`` finds a divergence."""
     parser = argparse.ArgumentParser(
@@ -280,9 +380,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero unless every round's outputs are identical",
     )
+    parser.add_argument(
+        "--contract",
+        choices=("incremental", "restore"),
+        default="incremental",
+        help="which equality contract to check: incremental-vs-full rounds "
+        "(default) or checkpoint/restore-vs-uninterrupted sessions",
+    )
     args = parser.parse_args(argv)
 
-    report = check_incremental(
+    checker = check_incremental if args.contract == "incremental" else check_restored
+    report = checker(
         SynthConfig(
             family=args.family,
             entities=args.entities,

@@ -9,7 +9,7 @@ and lineage-targeted feedback propagation
 (:class:`~repro.provenance.feedback.LineageFeedbackPropagator`).
 """
 
-from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.explain import LineageTree, explain, explain_result, render_lineage
 from repro.provenance.feedback import (
     LINEAGE_PENALTIES_ARTIFACT_KEY,
     LineageEvidence,
@@ -37,6 +37,7 @@ __all__ = [
     "SourceRef",
     "TupleLineage",
     "explain",
+    "explain_result",
     "provenance_store",
     "render_lineage",
 ]

@@ -16,7 +16,7 @@ from typing import Any
 from repro.provenance.model import ProvenanceStore, SourceRef, TupleLineage
 from repro.relational.table import Table
 
-__all__ = ["LineageTree", "explain", "render_lineage"]
+__all__ = ["LineageTree", "explain", "explain_result", "render_lineage"]
 
 
 @dataclass
@@ -60,6 +60,33 @@ class LineageTree:
         yield self
         for child in self.children:
             yield from child.walk()
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly rendering of the tree (service/HTTP responses).
+
+        Values are stringified only where they may not be JSON types
+        (``value``, source-row cells); structure and labels round-trip
+        losslessly enough for a client to display the explanation.
+        """
+        payload: dict[str, Any] = {"kind": self.kind, "label": self.label}
+        for name in ("relation", "row_key", "attribute", "operator", "mapping_id", "detail"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.value is not None:
+            payload["value"] = self.value if isinstance(
+                self.value, (str, int, float, bool)) else str(self.value)
+        if self.source_row is not None:
+            payload["source_row"] = {
+                key: value if isinstance(value, (str, int, float, bool)) or value is None
+                else str(value)
+                for key, value in self.source_row.items()
+            }
+        if self.events:
+            payload["events"] = list(self.events)
+        if self.children:
+            payload["children"] = [child.as_dict() for child in self.children]
+        return payload
 
 
 def explain(
@@ -127,6 +154,31 @@ def explain(
             witness_node.children.append(_source_leaf(ref, catalog))
         root.children.append(witness_node)
     return root
+
+
+def explain_result(
+    table: Table | None,
+    store: ProvenanceStore | None,
+    row: int | str,
+    column: str | None = None,
+    *,
+    catalog=None,
+) -> LineageTree:
+    """The one shared explain implementation behind every public surface.
+
+    :meth:`repro.wrangler.pipeline.Wrangler.explain`,
+    :meth:`repro.wrangler.result.WranglingResult.explain` and the service's
+    explain endpoint all route here, so their signatures, errors and return
+    values cannot drift apart. Raises ``LookupError`` when there is no
+    result table yet or provenance tracking is disabled.
+    """
+    if table is None:
+        raise LookupError("no materialised result to explain yet; run() first")
+    if store is None or not store.enabled:
+        raise LookupError(
+            "provenance tracking is disabled for this session "
+            "(WranglerConfig.track_provenance=False)")
+    return explain(table, row, column, store=store, catalog=catalog)
 
 
 def render_lineage(tree: LineageTree, *, indent: str = "") -> str:

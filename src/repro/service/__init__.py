@@ -1,0 +1,63 @@
+"""Wrangling as a service: persistent sessions behind an async job API.
+
+The paper's architecture is inherently a *service*: a user opens a data
+context once and then pays incrementally — feedback, appends, context —
+over days, not within one process lifetime. This package supplies that
+missing deployment shape on top of the existing engines:
+
+- :mod:`repro.service.api` — the typed request/response surface shared by
+  every entry point (in-process, CLI, HTTP);
+- :mod:`repro.service.session` — :class:`WranglingSession` (persistent,
+  checkpoint/restorable) and :class:`SessionStore`;
+- :mod:`repro.service.jobs` — the asyncio job queue: per-session FIFO,
+  cross-session parallelism, per-tenant rate limiting, cancellation;
+- :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only JSON-over-HTTP front end and its client;
+- :mod:`repro.service.cli` — ``python -m repro.service`` commands.
+"""
+
+from repro.service.api import (
+    AppendRequest,
+    CellAnnotation,
+    CheckpointRequest,
+    EvaluateRequest,
+    ExplainRequest,
+    ExplainResponse,
+    FeedbackRequest,
+    JobRecord,
+    JobStatus,
+    RunRequest,
+    SessionMetrics,
+    SimulateRequest,
+    request_from_dict,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import BackgroundService, JobQueue, RateLimiter, RateLimitExceeded
+from repro.service.server import WranglingServer, run_server
+from repro.service.session import SessionStore, WranglingSession
+
+__all__ = [
+    "AppendRequest",
+    "BackgroundService",
+    "CellAnnotation",
+    "CheckpointRequest",
+    "EvaluateRequest",
+    "ExplainRequest",
+    "ExplainResponse",
+    "FeedbackRequest",
+    "JobQueue",
+    "JobRecord",
+    "JobStatus",
+    "RateLimitExceeded",
+    "RateLimiter",
+    "RunRequest",
+    "ServiceClient",
+    "ServiceError",
+    "SessionMetrics",
+    "SessionStore",
+    "SimulateRequest",
+    "WranglingServer",
+    "WranglingSession",
+    "request_from_dict",
+    "run_server",
+]

@@ -1,0 +1,223 @@
+"""Command-line front end of the wrangling service.
+
+``serve`` runs the HTTP server; every other command is a thin
+:class:`~repro.service.client.ServiceClient` call, so the CLI exercises
+exactly the payloads a programmatic client would send::
+
+    python -m repro.service serve --port 8765 --checkpoint-dir /tmp/wrangle &
+    python -m repro.service create --url http://127.0.0.1:8765 --entities 120
+    python -m repro.service run --url ... SESSION --phase bootstrap
+    python -m repro.service feedback --url ... SESSION --simulate 20
+    python -m repro.service feedback --url ... SESSION --annotate 'r42:price=false'
+    python -m repro.service explain --url ... SESSION 3 --column price
+    python -m repro.service checkpoint --url ... SESSION
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.service.api import (
+    AppendRequest,
+    CellAnnotation,
+    EvaluateRequest,
+    ExplainRequest,
+    FeedbackRequest,
+    RunRequest,
+    SimulateRequest,
+)
+from repro.service.client import ServiceClient
+from repro.service.jobs import RateLimiter
+from repro.service.server import run_server
+from repro.service.session import SessionStore
+
+__all__ = ["main"]
+
+
+def _emit(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _parse_annotation(spec: str) -> CellAnnotation:
+    """``row[:attribute]=true|false`` → :class:`CellAnnotation`."""
+    cell, _, verdict = spec.partition("=")
+    if verdict.lower() not in ("true", "false"):
+        raise argparse.ArgumentTypeError(
+            f"annotation {spec!r} must end in =true or =false")
+    row_key, _, attribute = cell.partition(":")
+    if not row_key:
+        raise argparse.ArgumentTypeError(f"annotation {spec!r} has no row key")
+    return CellAnnotation(
+        row_key=row_key,
+        correct=verdict.lower() == "true",
+        attribute=attribute or None,
+    )
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(args.url, tenant=args.tenant)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Wrangling-as-a-service: sessions behind an async job API.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent wrangling jobs (default: 2)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for session checkpoints (default: none)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant requests/second (default: unlimited)")
+    serve.add_argument("--burst", type=int, default=20,
+                       help="per-tenant burst capacity (default: 20)")
+
+    def remote(name: str, help_text: str) -> argparse.ArgumentParser:
+        command = commands.add_parser(name, help=help_text)
+        command.add_argument("--url", default="http://127.0.0.1:8765",
+                             help="service base URL")
+        command.add_argument("--tenant", default="public",
+                             help="tenant name for rate limiting")
+        return command
+
+    status = remote("status", "service health and session list")
+    _ = status
+
+    create = remote("create", "create a synthetic-scenario session")
+    create.add_argument("--family", default=None, help="scenario family name")
+    create.add_argument("--entities", type=int, default=100)
+    create.add_argument("--sources", type=int, default=None)
+    create.add_argument("--seed", type=int, default=0)
+    create.add_argument("--name", default=None)
+
+    run = remote("run", "orchestrate one pay-as-you-go stage")
+    run.add_argument("session")
+    run.add_argument("--phase", default="bootstrap")
+    run.add_argument("--evaluate", default=True,
+                     action=argparse.BooleanOptionalAction,
+                     help="compute the quality report (default: on)")
+
+    feedback = remote("feedback", "apply (or simulate) a feedback round")
+    feedback.add_argument("session")
+    feedback.add_argument("--annotate", action="append", default=[],
+                          type=_parse_annotation, metavar="ROW[:ATTR]=BOOL",
+                          help="explicit cell verdict; repeatable")
+    feedback.add_argument("--simulate", type=int, default=None, metavar="BUDGET",
+                          help="simulate BUDGET annotations against ground truth")
+    feedback.add_argument("--seed", type=int, default=None)
+    feedback.add_argument("--strategy", default="targeted")
+    feedback.add_argument("--incremental", default=None,
+                          action=argparse.BooleanOptionalAction,
+                          help="force the incremental engine on/off "
+                               "(default: session config)")
+
+    append = remote("append", "append rows to a registered source")
+    append.add_argument("session")
+    append.add_argument("relation")
+    append.add_argument("--rows", required=True,
+                        help="JSON list of rows, e.g. '[[\"a\",1],[\"b\",2]]'")
+    append.add_argument("--incremental", default=None,
+                        action=argparse.BooleanOptionalAction)
+
+    explain = remote("explain", "why-provenance of one result cell")
+    explain.add_argument("session")
+    explain.add_argument("row")
+    explain.add_argument("--column", default=None)
+    explain.add_argument("--text", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="print the rendering instead of the JSON tree")
+
+    evaluate = remote("evaluate", "quality of the current result")
+    evaluate.add_argument("session")
+    evaluate.add_argument("--use-stats", default=None,
+                          action=argparse.BooleanOptionalAction,
+                          help="force maintained statistics on/off")
+
+    result = remote("result", "browse the current result rows")
+    result.add_argument("session")
+    result.add_argument("--limit", type=int, default=10)
+
+    checkpoint = remote("checkpoint", "persist a session to disk")
+    checkpoint.add_argument("session")
+    checkpoint.add_argument("--path", default=None)
+
+    restore = remote("restore", "restore a session from its checkpoint")
+    restore.add_argument("session")
+    restore.add_argument("--path", default=None)
+
+    jobs = remote("jobs", "list job records")
+    jobs.add_argument("--session", default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        limiter = None if args.rate is None else RateLimiter(args.rate, args.burst)
+        run_server(SessionStore(args.checkpoint_dir), host=args.host,
+                   port=args.port, workers=args.workers, rate_limiter=limiter)
+        return 0
+
+    client = _client(args)
+    if args.command == "status":
+        _emit({"health": client.health(), "sessions": client.sessions()})
+    elif args.command == "create":
+        scenario: dict[str, Any] = {"entities": args.entities, "seed": args.seed}
+        if args.family is not None:
+            scenario["family"] = args.family
+        if args.sources is not None:
+            scenario["sources"] = args.sources
+        _emit(client.create_session(scenario, name=args.name))
+    elif args.command == "run":
+        _emit(client.perform(args.session,
+                             RunRequest(phase=args.phase, evaluate=args.evaluate)))
+    elif args.command == "feedback":
+        if args.simulate is not None:
+            request = SimulateRequest(budget=args.simulate, seed=args.seed,
+                                      strategy=args.strategy,
+                                      incremental=args.incremental)
+        elif args.annotate:
+            request = FeedbackRequest(annotations=tuple(args.annotate),
+                                      incremental=args.incremental)
+        else:
+            print("feedback needs --annotate and/or --simulate", file=sys.stderr)
+            return 2
+        _emit(client.perform(args.session, request))
+    elif args.command == "append":
+        rows = tuple(tuple(row) for row in json.loads(args.rows))
+        _emit(client.perform(args.session,
+                             AppendRequest(relation=args.relation, rows=rows,
+                                           incremental=args.incremental)))
+    elif args.command == "explain":
+        row: int | str = int(args.row) if args.row.isdigit() else args.row
+        payload = client.perform(
+            args.session, ExplainRequest(row=row, column=args.column))
+        if args.text and payload is not None:
+            print(payload.get("text", ""))
+        else:
+            _emit(payload)
+    elif args.command == "evaluate":
+        _emit(client.perform(args.session, EvaluateRequest(use_stats=args.use_stats)))
+    elif args.command == "result":
+        _emit(client.result(args.session, limit=args.limit))
+    elif args.command == "checkpoint":
+        _emit(client.checkpoint(args.session, path=args.path))
+    elif args.command == "restore":
+        _emit(client.restore(args.session, path=args.path))
+    elif args.command == "jobs":
+        _emit([job.as_dict() for job in client.jobs(args.session)])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,325 @@
+"""The async job queue behind the wrangling service.
+
+Wrangling rounds are CPU-bound and seconds-long, so the service never runs
+them on the request path: every typed request becomes a
+:class:`~repro.service.api.JobRecord`, clients poll (or wait on) its
+status, and a small worker pool executes jobs off the event loop.
+
+Ordering contract: jobs of one session execute **in submission order, one
+at a time** (a per-session lock — feedback rounds are stateful), while
+jobs of different sessions run concurrently up to the worker count.
+
+Fairness: a token-bucket :class:`RateLimiter` throttles per tenant at
+submission time, so one chatty client cannot monopolise the pool.
+
+:class:`BackgroundService` wraps the queue plus its event loop in a daemon
+thread for synchronous callers (the CLI, tests, notebooks); the HTTP front
+end in :mod:`repro.service.server` drives the queue on its own loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.service.api import JobRecord, JobStatus
+from repro.service.session import SessionStore
+
+__all__ = [
+    "BackgroundService",
+    "JobQueue",
+    "RateLimitExceeded",
+    "RateLimiter",
+]
+
+
+class RateLimitExceeded(Exception):
+    """A tenant exhausted its token bucket; retry after a short backoff."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(
+            f"tenant {tenant!r} exceeded its request rate; "
+            f"retry in {retry_after:.2f}s")
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class RateLimiter:
+    """A per-tenant token bucket (``rate`` tokens/s, capacity ``burst``).
+
+    The clock is injectable so tests can drive time deterministically.
+    """
+
+    def __init__(self, rate: float = 10.0, burst: int = 20, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant → (tokens, stamp)
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str) -> float:
+        """Consume one token; returns 0.0, or the seconds until one frees up."""
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[tenant] = (tokens - 1.0, now)
+                return 0.0
+            self._buckets[tenant] = (tokens, now)
+            return (1.0 - tokens) / self.rate
+
+    def check(self, tenant: str) -> None:
+        """:meth:`try_acquire` that raises :class:`RateLimitExceeded`."""
+        retry_after = self.try_acquire(tenant)
+        if retry_after > 0:
+            raise RateLimitExceeded(tenant, retry_after)
+
+
+class JobQueue:
+    """Typed requests in, :class:`JobRecord` lifecycles out.
+
+    Must be created and driven from one asyncio event loop; the wrangling
+    work itself runs on a :class:`ThreadPoolExecutor` so the loop stays
+    responsive for polling and submission.
+    """
+
+    def __init__(self, store: SessionStore, *, workers: int = 2,
+                 rate_limiter: RateLimiter | None = None,
+                 keep_records: int = 1000):
+        self.store = store
+        self.workers = max(1, workers)
+        self.rate_limiter = rate_limiter
+        self._keep_records = keep_records
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._jobs: dict[str, JobRecord] = {}
+        self._events: dict[str, asyncio.Event] = {}
+        self._session_locks: dict[str, asyncio.Lock] = {}
+        self._worker_tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="wrangle-job")
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker(index)) for index in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel workers and release the executor; running jobs finish."""
+        if not self._started:
+            return
+        self._started = False
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission / inspection ----------------------------------------------
+
+    def submit(self, session_id: str, request, *, tenant: str = "public") -> JobRecord:
+        """Enqueue one typed request for a live session.
+
+        Raises ``KeyError`` for unknown sessions and
+        :class:`RateLimitExceeded` when the tenant is over budget.
+        """
+        self.store.get(session_id)  # fail fast on unknown sessions
+        if self.rate_limiter is not None:
+            self.rate_limiter.check(tenant)
+        job = JobRecord(
+            job_id=uuid.uuid4().hex[:16],
+            session_id=session_id,
+            kind=getattr(request, "kind", type(request).__name__),
+            tenant=tenant,
+            submitted_at=time.time(),
+            request=request,
+        )
+        self._jobs[job.job_id] = job
+        self._events[job.job_id] = asyncio.Event()
+        self._queue.put_nowait(job.job_id)
+        self._trim_records()
+        return job
+
+    def get(self, job_id: str) -> JobRecord:
+        """The job record (KeyError names the unknown id)."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list(self, session_id: str | None = None) -> list[JobRecord]:
+        """All retained jobs (optionally of one session), oldest first."""
+        jobs = [job for job in self._jobs.values()
+                if session_id is None or job.session_id == session_id]
+        return sorted(jobs, key=lambda job: (job.submitted_at, job.job_id))
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started yet.
+
+        Returns True when the job moved to ``cancelled``; False when it is
+        already running or finished (wrangling rounds are not preemptible —
+        killing one mid-patch would corrupt session state).
+        """
+        job = self.get(job_id)
+        if job.status != JobStatus.PENDING:
+            return False
+        job.status = JobStatus.CANCELLED
+        job.finished_at = time.time()
+        self._events[job_id].set()
+        return True
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job is terminal (asyncio.TimeoutError otherwise)."""
+        job = self.get(job_id)
+        if not job.finished:
+            await asyncio.wait_for(self._events[job_id].wait(), timeout)
+        return job
+
+    # -- execution ------------------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            try:
+                job = self._jobs.get(job_id)
+                if job is None or job.status != JobStatus.PENDING:
+                    continue  # cancelled (or trimmed) while queued
+                lock = self._session_locks.setdefault(job.session_id, asyncio.Lock())
+                async with lock:
+                    if job.status != JobStatus.PENDING:
+                        continue
+                    job.status = JobStatus.RUNNING
+                    job.started_at = time.time()
+                    try:
+                        session = self.store.get(job.session_id)
+                        response = await loop.run_in_executor(
+                            self._executor, session.handle, job.request)
+                        job.result = (response.as_dict()
+                                      if hasattr(response, "as_dict") else response)
+                        job.status = JobStatus.DONE
+                    except Exception as exc:  # job failure is data, not a crash
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.status = JobStatus.FAILED
+                    finally:
+                        job.finished_at = time.time()
+                        self._events[job.job_id].set()
+            finally:
+                self._queue.task_done()
+
+    def _trim_records(self) -> None:
+        """Drop the oldest finished jobs beyond the retention cap."""
+        if len(self._jobs) <= self._keep_records:
+            return
+        finished = [job for job in self.list() if job.finished]
+        excess = len(self._jobs) - self._keep_records
+        for job in finished[:excess]:
+            self._jobs.pop(job.job_id, None)
+            self._events.pop(job.job_id, None)
+
+
+class BackgroundService:
+    """A synchronous facade: the job queue on a daemon event-loop thread.
+
+    This is what the CLI and in-process callers use::
+
+        service = BackgroundService(SessionStore())
+        session = service.store.create(SynthConfig(entities=100))
+        service.perform(session.session_id, RunRequest(phase="bootstrap"))
+        service.close()
+    """
+
+    def __init__(self, store: SessionStore | None = None, *, workers: int = 2,
+                 rate_limiter: RateLimiter | None = None):
+        self.store = store if store is not None else SessionStore()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="wrangle-service", daemon=True)
+        self._thread.start()
+        self.queue: JobQueue = self._call(self._make_queue(workers, rate_limiter))
+        self._closed = False
+
+    async def _make_queue(self, workers: int, rate_limiter) -> JobQueue:
+        queue = JobQueue(self.store, workers=workers, rate_limiter=rate_limiter)
+        await queue.start()
+        return queue
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # -- the synchronous surface ----------------------------------------------
+
+    def submit(self, session_id: str, request, *, tenant: str = "public") -> JobRecord:
+        """Enqueue a request; returns immediately with the pending record."""
+
+        async def _submit():
+            return self.queue.submit(session_id, request, tenant=tenant)
+
+        return self._call(_submit())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job finishes."""
+        return self._call(self.queue.wait(job_id, timeout))
+
+    def perform(self, session_id: str, request, *, tenant: str = "public",
+                timeout: float | None = None) -> dict[str, Any] | None:
+        """Submit, wait, and return the job's result payload.
+
+        Raises ``RuntimeError`` carrying the job's error when it failed.
+        """
+        job = self.wait(self.submit(session_id, request, tenant=tenant).job_id, timeout)
+        if job.status == JobStatus.FAILED:
+            raise RuntimeError(f"job {job.job_id} failed: {job.error}")
+        if job.status == JobStatus.CANCELLED:
+            raise RuntimeError(f"job {job.job_id} was cancelled")
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job."""
+
+        async def _cancel():
+            return self.queue.cancel(job_id)
+
+        return self._call(_cancel())
+
+    def jobs(self, session_id: str | None = None) -> list[JobRecord]:
+        """Retained job records (optionally of one session)."""
+
+        async def _list():
+            return self.queue.list(session_id)
+
+        return self._call(_list())
+
+    def close(self) -> None:
+        """Stop workers and the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._call(self.queue.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "BackgroundService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -33,8 +33,9 @@ import multiprocessing
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.relational.table import Table
@@ -60,9 +61,25 @@ __all__ = [
 EXECUTORS = ("process", "thread", "serial")
 
 
+def _default_batch_wrangler() -> WranglerConfig:
+    """Per-scenario session config of a batch: snapshots off by default —
+    batch feedback rounds re-run fully unless the caller turns the
+    incremental engine on (``wrangler=WranglerConfig(enable_incremental=True)``)."""
+    return WranglerConfig(enable_incremental=False)
+
+
 @dataclass(frozen=True)
 class BatchConfig:
-    """How a batch of scenarios is executed."""
+    """How a batch of scenarios is executed.
+
+    Session-level knobs (step budget, provenance/incremental toggles, the
+    session seed) live in one canonical place — the nested
+    :class:`~repro.wrangler.config.WranglerConfig` — shared with the
+    interactive and service entry points. The old flat spellings
+    (``max_steps``, ``track_provenance``, ``incremental_feedback``) are
+    still accepted, with a :class:`DeprecationWarning`, and fold into
+    ``wrangler``.
+    """
 
     #: Worker count (None → ``os.cpu_count()``, capped at the batch size).
     workers: int | None = None
@@ -77,15 +94,36 @@ class BatchConfig:
     #: How many feedback rounds each scenario runs (annotate → revise →
     #: re-wrangle, ``feedback_budget`` annotations per round).
     feedback_rounds: int = 1
-    #: Whether feedback rounds go through the incremental re-wrangling
-    #: engine (:meth:`Wrangler.apply_feedback`) instead of full re-runs.
-    incremental_feedback: bool = False
-    #: Orchestration step budget per scenario.
-    max_steps: int = 200
-    #: Whether why-provenance is recorded while wrangling (lineage-aware
-    #: explanations and feedback; see :mod:`repro.provenance`). Off-switch
-    #: for benchmarking the pipeline without tracking overhead.
-    track_provenance: bool = True
+    #: The per-scenario session configuration. ``enable_incremental`` also
+    #: selects the feedback-loop path: on, rounds are patched by the
+    #: incremental engine; off, each round re-orchestrates fully.
+    wrangler: WranglerConfig = field(default_factory=_default_batch_wrangler)
+    #: Deprecated alias of ``wrangler.enable_incremental``.
+    incremental_feedback: bool | None = None
+    #: Deprecated alias of ``wrangler.max_steps``.
+    max_steps: int | None = None
+    #: Deprecated alias of ``wrangler.track_provenance``.
+    track_provenance: bool | None = None
+
+    def __post_init__(self) -> None:
+        folded = self.wrangler
+        for old, new in (("incremental_feedback", "enable_incremental"),
+                         ("max_steps", "max_steps"),
+                         ("track_provenance", "track_provenance")):
+            value = getattr(self, old)
+            if value is None:
+                continue
+            warnings.warn(
+                f"BatchConfig.{old} is deprecated; pass "
+                f"wrangler=WranglerConfig({new}=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            folded = replace(folded, **{new: value})
+            # Reset the alias so dataclasses.replace() on this config does
+            # not warn again (the canonical field now carries the value).
+            object.__setattr__(self, old, None)
+        object.__setattr__(self, "wrangler", folded)
 
     def resolve_workers(self, batch_size: int) -> int:
         """The effective worker count for ``batch_size`` scenarios."""
@@ -327,10 +365,7 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
     started = time.perf_counter()
     truth = scenario.ground_truth
     key = scenario.evaluation_key
-    wrangler = Wrangler(
-        config=WranglerConfig(max_steps=batch.max_steps, track_provenance=batch.track_provenance),
-        registry=_worker_registry(),
-    )
+    wrangler = Wrangler(config=batch.wrangler, registry=_worker_registry())
     scenario.install(wrangler)
     phases = ["bootstrap"]
     result = wrangler.run("bootstrap", ground_truth=truth, ground_truth_key=key)
@@ -358,8 +393,8 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
                 strategy="targeted",
                 id_prefix="sim" if round_number == 0 else f"sim_r{round_number}",
             )
-            if batch.incremental_feedback:
-                result = wrangler.apply_feedback(
+            if batch.wrangler.enable_incremental:
+                result = wrangler._apply_feedback(
                     annotations,
                     incremental=True,
                     ground_truth=truth,
@@ -376,7 +411,7 @@ def wrangle_scenario(scenario: Scenario, batch: BatchConfig | None = None) -> Sc
     if result.quality is not None:
         quality["overall"] = result.quality.overall()
     provenance_summary = None
-    if batch.track_provenance:
+    if batch.wrangler.track_provenance:
         provenance_summary = wrangler.provenance.stats(wrangler.result_name())
     return ScenarioRunResult(
         name=scenario.name,
@@ -440,9 +475,9 @@ def _shard_fingerprint(config: SynthConfig, batch: BatchConfig) -> str:
                 batch.use_data_context,
                 batch.feedback_budget,
                 batch.feedback_rounds,
-                batch.incremental_feedback,
-                batch.max_steps,
-                batch.track_provenance,
+                batch.wrangler.enable_incremental,
+                batch.wrangler.max_steps,
+                batch.wrangler.track_provenance,
             )
         ).encode("utf-8")
     )
@@ -678,9 +713,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--incremental",
-        action="store_true",
+        default=False,
+        action=argparse.BooleanOptionalAction,
         help="apply feedback through the incremental re-wrangling engine "
-        "instead of full re-orchestration",
+        "instead of full re-orchestration (default: --no-incremental)",
     )
     parser.add_argument(
         "--mix-families",
@@ -698,12 +734,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "(fingerprint-verified) instead of recomputing",
     )
     parser.add_argument(
-        "--no-data-context", action="store_true", help="skip the data-context phase"
+        "--data-context",
+        default=True,
+        action=argparse.BooleanOptionalAction,
+        help="bind reference/master tables as data context "
+        "(default: --data-context; --no-data-context skips the phase)",
     )
     parser.add_argument(
-        "--no-provenance",
-        action="store_true",
-        help="disable why-provenance tracking (faster, but results cannot be explained)",
+        "--provenance",
+        default=True,
+        action=argparse.BooleanOptionalAction,
+        help="record why-provenance while wrangling (default: --provenance; "
+        "--no-provenance is faster, but results cannot be explained)",
     )
     parser.add_argument(
         "--max-steps", type=int, default=200, help="orchestration step budget per scenario"
@@ -734,12 +776,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     batch = BatchConfig(
         workers=args.workers,
         executor=args.executor,
-        use_data_context=not args.no_data_context,
+        use_data_context=args.data_context,
         feedback_budget=args.feedback_budget,
         feedback_rounds=args.feedback_rounds,
-        incremental_feedback=args.incremental,
-        max_steps=args.max_steps,
-        track_provenance=not args.no_provenance,
+        wrangler=WranglerConfig(
+            max_steps=args.max_steps,
+            track_provenance=args.provenance,
+            enable_incremental=args.incremental,
+        ),
     )
     report = run_batch(configs, batch, checkpoint_dir=args.checkpoint_dir)
 

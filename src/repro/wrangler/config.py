@@ -20,9 +20,19 @@ class WranglerConfig:
     Component-specific configurations are passed through to the individual
     transducers; ``max_steps`` bounds each orchestration run (a safety net —
     a well-behaved session quiesces long before it).
+
+    This is the canonical home of the session-level knobs that used to be
+    re-spelt across configs: provenance/incremental toggles, the step
+    budget and the session seed. :class:`~repro.wrangler.batch.BatchConfig`
+    nests one of these; scenario *generation* seeds stay with
+    :class:`~repro.scenarios.synth.SynthConfig`.
     """
 
     max_steps: int = 200
+    #: Session-level seed: the default for simulated feedback sampling and
+    #: any other stochastic choice a session makes (scenario generation has
+    #: its own seed in ``SynthConfig``).
+    seed: int = 0
     schema_matcher: SchemaMatcherConfig = field(default_factory=SchemaMatcherConfig)
     instance_matcher: InstanceMatcherConfig = field(default_factory=InstanceMatcherConfig)
     mapping_generator: MappingGeneratorConfig = field(default_factory=MappingGeneratorConfig)

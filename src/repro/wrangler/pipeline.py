@@ -25,7 +25,8 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import warnings
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.context.data_context import DataContext
 from repro.context.transducers import CriterionWeightTransducer
@@ -55,7 +56,7 @@ from repro.mapping.transducers import (
     result_relation_name,
 )
 from repro.matching.transducers import InstanceMatchingTransducer, SchemaMatchingTransducer
-from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.explain import LineageTree, explain_result, render_lineage
 from repro.provenance.model import ProvenanceStore, provenance_store
 from repro.quality.metrics import QualityReport, evaluate_quality
 from repro.quality.transducers import (
@@ -70,7 +71,20 @@ from repro.relational.table import Table
 from repro.wrangler.config import WranglerConfig
 from repro.wrangler.result import WranglingResult
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service wraps us)
+    from repro.service.session import WranglingSession
+
 __all__ = ["Wrangler", "build_default_registry"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    """One deprecation voice for the pre-session Wrangler surface."""
+    warnings.warn(
+        f"Wrangler.{old} is deprecated; use {new} (see README 'Migrating to "
+        f"the session API')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def build_default_registry(config: WranglerConfig | None = None) -> TransducerRegistry:
@@ -230,18 +244,22 @@ class Wrangler:
         """Assert a batch of pre-built feedback annotations."""
         return self._feedback.annotate_many(annotations)
 
-    def simulate_feedback(self, ground_truth: Table, *, budget: int = 50, seed: int = 0,
+    def simulate_feedback(self, ground_truth: Table, *, budget: int = 50,
+                          seed: int | None = None,
                           key: Sequence[str] = ("postcode", "price"),
                           strategy: str = "targeted") -> int:
         """Simulate a user annotating ``budget`` result cells against ground truth.
 
         The default ``targeted`` strategy mirrors the paper's motivation:
         the user notices and flags values that are clearly wrong (e.g. a
-        bedroom count that is actually a room area).
+        bedroom count that is actually a room area). ``seed`` defaults to
+        the session's :attr:`WranglerConfig.seed`.
         """
         table = self.result()
         if table is None:
             return 0
+        if seed is None:
+            seed = self._config.seed
         annotations = simulate_feedback(table, ground_truth, key,
                                         budget=budget, seed=seed, strategy=strategy)
         return self.add_feedback(annotations)
@@ -253,6 +271,24 @@ class Wrangler:
                        ground_truth: Table | None = None,
                        ground_truth_key: Sequence[str] = ("postcode", "price"),
                        evaluate: bool = True) -> WranglingResult:
+        """Deprecated shim — use ``session().feedback(FeedbackRequest(...))``.
+
+        The behaviour is unchanged (see :meth:`_apply_feedback`); the typed
+        session surface in :mod:`repro.service` is the supported entry point
+        for feedback rounds.
+        """
+        _deprecated("apply_feedback(...)",
+                    "WranglingSession.feedback(FeedbackRequest(...))")
+        return self._apply_feedback(annotations, incremental=incremental,
+                                    ground_truth=ground_truth,
+                                    ground_truth_key=ground_truth_key,
+                                    evaluate=evaluate)
+
+    def _apply_feedback(self, annotations: Iterable[Feedback] | None = None, *,
+                        incremental: bool | None = None,
+                        ground_truth: Table | None = None,
+                        ground_truth_key: Sequence[str] = ("postcode", "price"),
+                        evaluate: bool = True) -> WranglingResult:
         """Assert feedback and bring the result up to date — incrementally.
 
         This is the feedback loop's fast path: instead of re-running the
@@ -281,15 +317,26 @@ class Wrangler:
 
         change_set = LineageFeedbackPropagator().emit_deltas(
             self._kb, seen=self._incremental.seen_feedback)
-        return self.apply_change_set(change_set, phase="feedback",
-                                     ground_truth=ground_truth,
-                                     ground_truth_key=ground_truth_key,
-                                     evaluate=evaluate)
+        return self._apply_change_set(change_set, phase="feedback",
+                                      ground_truth=ground_truth,
+                                      ground_truth_key=ground_truth_key,
+                                      evaluate=evaluate)
 
     def apply_change_set(self, change_set: ChangeSet, *, phase: str = "revision",
                          ground_truth: Table | None = None,
                          ground_truth_key: Sequence[str] = ("postcode", "price"),
                          evaluate: bool = True) -> WranglingResult:
+        """Deprecated shim — use ``session().apply(ChangeSet(...))``."""
+        _deprecated("apply_change_set(...)", "WranglingSession.apply(change_set)")
+        return self._apply_change_set(change_set, phase=phase,
+                                      ground_truth=ground_truth,
+                                      ground_truth_key=ground_truth_key,
+                                      evaluate=evaluate)
+
+    def _apply_change_set(self, change_set: ChangeSet, *, phase: str = "revision",
+                          ground_truth: Table | None = None,
+                          ground_truth_key: Sequence[str] = ("postcode", "price"),
+                          evaluate: bool = True) -> WranglingResult:
         """Apply an arbitrary change set through the incremental engine.
 
         Falls back to a full orchestrated run when the engine reports the
@@ -320,13 +367,27 @@ class Wrangler:
                 "incremental": outcome.describe(),
             },
             provenance=self._provenance if self._provenance.enabled else None,
+            catalog=self._kb.catalog,
         )
 
     def append_source_rows(self, relation: str, rows: Iterable[Sequence], *,
                            incremental: bool | None = None,
                            ground_truth: Table | None = None,
-                           ground_truth_key: Sequence[str] = ("postcode", "price")
-                           ) -> WranglingResult:
+                           ground_truth_key: Sequence[str] = ("postcode", "price"),
+                           evaluate: bool = True) -> WranglingResult:
+        """Deprecated shim — use ``session().append(AppendRequest(...))``."""
+        _deprecated("append_source_rows(...)",
+                    "WranglingSession.append(AppendRequest(...))")
+        return self._append_source_rows(relation, rows, incremental=incremental,
+                                        ground_truth=ground_truth,
+                                        ground_truth_key=ground_truth_key,
+                                        evaluate=evaluate)
+
+    def _append_source_rows(self, relation: str, rows: Iterable[Sequence], *,
+                            incremental: bool | None = None,
+                            ground_truth: Table | None = None,
+                            ground_truth_key: Sequence[str] = ("postcode", "price"),
+                            evaluate: bool = True) -> WranglingResult:
         """Append rows to a registered source and update the result.
 
         Existing ``source:index`` row identities stay valid, so the
@@ -345,10 +406,11 @@ class Wrangler:
         )
         if not incremental:
             return self.run("revision", ground_truth=ground_truth,
-                            ground_truth_key=ground_truth_key)
-        return self.apply_change_set(change_set, phase="revision",
-                                     ground_truth=ground_truth,
-                                     ground_truth_key=ground_truth_key)
+                            ground_truth_key=ground_truth_key, evaluate=evaluate)
+        return self._apply_change_set(change_set, phase="revision",
+                                      ground_truth=ground_truth,
+                                      ground_truth_key=ground_truth_key,
+                                      evaluate=evaluate)
 
     # -- running -----------------------------------------------------------------------
 
@@ -378,7 +440,22 @@ class Wrangler:
             steps_executed=steps_executed,
             details={"kb_facts": self._kb.count(), "kb_revision": self._kb.revision},
             provenance=self._provenance if self._provenance.enabled else None,
+            catalog=self._kb.catalog,
         )
+
+    def session(self, *, session_id: str | None = None,
+                name: str | None = None) -> "WranglingSession":
+        """The coherent, typed session surface over this wrangler.
+
+        This is the recommended entry point for the interactive loop: one
+        :class:`~repro.service.session.WranglingSession` per data context,
+        driven by typed requests (``FeedbackRequest``, ``AppendRequest``,
+        ``ExplainRequest``, …) shared by the in-process, CLI and HTTP entry
+        points, with checkpoint/restore built in.
+        """
+        from repro.service.session import WranglingSession
+
+        return WranglingSession(self, session_id=session_id, name=name)
 
     def step(self):
         """Execute a single orchestration step (None when quiescent)."""
@@ -417,18 +494,14 @@ class Wrangler:
 
         The returned tree has the annotated value at the root, one branch
         per why-provenance witness, and the contributing *source rows*
-        (resolved from the catalog) at the leaves. Raises ``LookupError``
-        when there is no result yet or tracking is disabled.
+        (resolved from the catalog) at the leaves. Identical to
+        :meth:`WranglingResult.explain <repro.wrangler.result.WranglingResult.explain>`
+        — both route through :func:`repro.provenance.explain.explain_result`.
+        Raises ``LookupError`` when there is no result yet or tracking is
+        disabled.
         """
-        table = self.result()
-        if table is None:
-            raise LookupError("no materialised result to explain yet; run() first")
-        if not self._provenance.enabled:
-            raise LookupError(
-                "provenance tracking is disabled for this session "
-                "(WranglerConfig.track_provenance=False)")
-        return explain(table, row, column, store=self._provenance,
-                       catalog=self._kb.catalog)
+        return explain_result(self.result(), self._provenance, row, column,
+                              catalog=self._kb.catalog)
 
     def explain_text(self, row: int | str, column: str | None = None) -> str:
         """Human-readable rendering of :meth:`explain`."""

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.trace import Trace
 from repro.mapping.model import SchemaMapping
-from repro.provenance.explain import LineageTree, explain, render_lineage
+from repro.provenance.explain import LineageTree, explain_result, render_lineage
 from repro.provenance.model import ProvenanceStore
 from repro.quality.metrics import QualityReport
 from repro.relational.table import Table
@@ -37,6 +38,10 @@ class WranglingResult:
     details: dict[str, Any] = field(default_factory=dict)
     #: Lineage recorded for the session (None when tracking is off).
     provenance: ProvenanceStore | None = None
+    #: The session catalog at the time the result was produced; lets
+    #: :meth:`explain` resolve contributing source rows without the caller
+    #: having to thread ``wrangler.kb.catalog`` through by hand.
+    catalog: Any = None
 
     @property
     def row_count(self) -> int:
@@ -47,21 +52,23 @@ class WranglingResult:
                 catalog=None) -> LineageTree:
         """Why-provenance of one result cell (or tuple when ``column`` is None).
 
-        ``row`` is a row index or a row key. Pass the session catalog (e.g.
-        ``wrangler.kb.catalog``) to resolve the contributing source rows'
-        values at the leaves; :meth:`~repro.wrangler.pipeline.Wrangler.explain`
-        does that automatically.
+        Identical to :meth:`repro.wrangler.pipeline.Wrangler.explain` (both
+        route through :func:`repro.provenance.explain.explain_result`); the
+        source-row leaves resolve against the catalog captured with the
+        result. Passing ``catalog=`` explicitly is deprecated — the result
+        already carries it.
         """
-        if self.table is None:
-            raise LookupError("this stage produced no result table to explain")
-        if self.provenance is None:
-            raise LookupError("provenance tracking was disabled for this session")
-        return explain(self.table, row, column, store=self.provenance, catalog=catalog)
+        if catalog is not None:
+            warnings.warn(
+                "WranglingResult.explain(catalog=...) is deprecated; the result "
+                "carries its session catalog — call explain(row, column)",
+                DeprecationWarning, stacklevel=2)
+        return explain_result(self.table, self.provenance, row, column,
+                              catalog=catalog if catalog is not None else self.catalog)
 
-    def explain_text(self, row: int | str, column: str | None = None, *,
-                     catalog=None) -> str:
+    def explain_text(self, row: int | str, column: str | None = None) -> str:
         """Human-readable rendering of :meth:`explain`."""
-        return render_lineage(self.explain(row, column, catalog=catalog))
+        return render_lineage(self.explain(row, column))
 
     def summary(self) -> dict[str, Any]:
         """A compact dictionary used by examples and benchmarks."""

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.scenarios.synth import SynthConfig, generate_synthetic, scenario_suite
 from repro.wrangler import batch as batch_module
+from repro.wrangler.config import WranglerConfig
 from repro.wrangler.batch import (
     BatchConfig,
     BatchReport,
@@ -182,8 +183,10 @@ class TestFeedbackRounds:
     def test_incremental_rounds_patch_and_match_full_runs(self):
         config = SynthConfig(family="product_catalog", **TINY)
         full = run_scenario(config, BatchConfig(feedback_budget=4, feedback_rounds=2))
-        patched = run_scenario(config, BatchConfig(feedback_budget=4, feedback_rounds=2,
-                                                   incremental_feedback=True))
+        patched = run_scenario(
+            config,
+            BatchConfig(feedback_budget=4, feedback_rounds=2,
+                        wrangler=WranglerConfig(enable_incremental=True)))
         assert full.ok and patched.ok, (full.error, patched.error)
         assert patched.incremental_patches >= 1
         # The incremental engine is an optimisation, not a semantics change.
