@@ -67,8 +67,9 @@ class ManualEtlPipeline:
         """Manual configuration actions required by this pipeline."""
         return self._config.manual_actions()
 
-    def run(self, sources: Mapping[str, Table], target_schema: Schema, *,
-            result_name: str | None = None) -> Table:
+    def run(
+        self, sources: Mapping[str, Table], target_schema: Schema, *, result_name: str | None = None
+    ) -> Table:
         """Execute the pipeline over ``sources`` and produce the target table."""
         config = self._config
         target_attributes = tuple(config.target_attributes) or target_schema.attribute_names
@@ -109,8 +110,7 @@ class ManualEtlPipeline:
         return final.rename(result_name or f"{target_schema.name}_etl")
 
 
-def _project_onto(table: Table, target_schema: Schema,
-                  target_attributes: Sequence[str]) -> Table:
+def _project_onto(table: Table, target_schema: Schema, target_attributes: Sequence[str]) -> Table:
     """Project ``table`` onto the target attributes, padding missing ones with NULL."""
     rows = []
     for row in table.rows():
@@ -129,8 +129,9 @@ def _project_onto(table: Table, target_schema: Schema,
     return Table(schema, rows, coerce=False)
 
 
-def _merge_joined(joined: Table, feed: Table, target_schema: Schema,
-                  target_attributes: Sequence[str]) -> Table:
+def _merge_joined(
+    joined: Table, feed: Table, target_schema: Schema, target_attributes: Sequence[str]
+) -> Table:
     """After a join, prefer newly joined values for attributes the feed lacked."""
     rows = []
     for row in joined.rows():
@@ -183,7 +184,14 @@ def default_real_estate_etl() -> ManualEtlPipeline:
         },
         union_sources=("rightmove", "onthemarket"),
         enrichment_joins=(("deprivation", "postcode", "postcode"),),
-        target_attributes=("type", "description", "street", "postcode",
-                           "bedrooms", "price", "crimerank"),
+        target_attributes=(
+            "type",
+            "description",
+            "street",
+            "postcode",
+            "bedrooms",
+            "price",
+            "crimerank",
+        ),
     )
     return ManualEtlPipeline(config)

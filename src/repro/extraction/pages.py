@@ -100,11 +100,10 @@ class SyntheticSite:
 
     def render_pages(self, records: Sequence[Mapping[str, object]]) -> list[ResultPage]:
         """Render ``records`` into result pages of ``page_size`` listings."""
-        listings = [self._render_listing(index, record)
-                    for index, record in enumerate(records)]
+        listings = [self._render_listing(index, record) for index, record in enumerate(records)]
         pages = []
         for page_number, start in enumerate(range(0, len(listings), self._page_size), start=1):
-            chunk = tuple(listings[start:start + self._page_size])
+            chunk = tuple(listings[start : start + self._page_size])
             pages.append(ResultPage(self._template.name, page_number, chunk))
         return pages
 

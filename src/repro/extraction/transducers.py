@@ -46,9 +46,13 @@ def web_pages_artifact_key(source_name: str) -> str:
     return f"web_pages:{source_name}"
 
 
-def register_web_source(kb: KnowledgeBase, source_name: str,
-                        pages: Sequence[ResultPage], *,
-                        wrapper: SiteWrapper | None = None) -> None:
+def register_web_source(
+    kb: KnowledgeBase,
+    source_name: str,
+    pages: Sequence[ResultPage],
+    *,
+    wrapper: SiteWrapper | None = None,
+) -> None:
     """Register a web source (pages + optional hand-written wrapper) in the KB."""
     kb.store_artifact(web_pages_artifact_key(source_name), list(pages))
     if wrapper is not None:
@@ -77,8 +81,7 @@ class DataExtractionTransducer(Transducer):
                 continue
             wrapper = kb.get_artifact(f"wrapper:{source_name}")
             if wrapper is None:
-                wrapper = induce_wrapper(source_name, pages,
-                                         attribute_hints=self._attribute_hints)
+                wrapper = induce_wrapper(source_name, pages, attribute_hints=self._attribute_hints)
             table = WebExtractor(wrapper).extract(pages, table_name=source_name)
             if kb.has_table(source_name):
                 kb.update_table(table)

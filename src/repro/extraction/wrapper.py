@@ -92,9 +92,13 @@ class SiteWrapper:
         return records
 
 
-def induce_wrapper(site: str, pages: Sequence[ResultPage],
-                   attribute_hints: Mapping[str, Sequence[str]] | None = None,
-                   *, min_label_frequency: float = 0.05) -> SiteWrapper:
+def induce_wrapper(
+    site: str,
+    pages: Sequence[ResultPage],
+    attribute_hints: Mapping[str, Sequence[str]] | None = None,
+    *,
+    min_label_frequency: float = 0.05,
+) -> SiteWrapper:
     """Induce a wrapper from example pages.
 
     Labels occurring on at least ``min_label_frequency`` of listings become
@@ -104,8 +108,10 @@ def induce_wrapper(site: str, pages: Sequence[ResultPage],
     mirrors, at small scale, the ontology-driven field identification DIADEM
     performs.
     """
-    hints = {attribute: [h.lower() for h in substrings]
-             for attribute, substrings in (attribute_hints or {}).items()}
+    hints = {
+        attribute: [h.lower() for h in substrings]
+        for attribute, substrings in (attribute_hints or {}).items()
+    }
     label_counts: dict[str, int] = {}
     total_listings = 0
     for page in pages:

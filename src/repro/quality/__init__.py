@@ -25,6 +25,7 @@ from repro.quality.profiling import (
 from repro.quality.repair import CFDRepairer, RepairAction, RepairResult
 from repro.quality.stats import (
     AccuracyStats,
+    AnswerAgreementStats,
     CompletenessStats,
     ConsistencyStats,
     QualityStats,
@@ -57,6 +58,7 @@ __all__ = [
     "AccuracyStats",
     "ConsistencyStats",
     "RelevanceStats",
+    "AnswerAgreementStats",
     "build_stats",
     "attribute_completeness",
     "table_completeness",

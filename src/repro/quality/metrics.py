@@ -156,6 +156,9 @@ class QualityReport:
     relevance: float
     attribute_completeness: dict[str, float] = field(default_factory=dict)
     row_count: int = 0
+    #: Certain-vs-repaired answer agreement over a query workload; ``None``
+    #: until ``Wrangler.query(mode="both")`` has observed any queries.
+    answer_agreement: float | None = None
 
     def overall(self, weights: Mapping[str, float] | None = None) -> float:
         """Weighted overall score (uniform weights when none are given)."""
@@ -173,13 +176,19 @@ class QualityReport:
         return sum(scores[name] * weights.get(name, 0.0) for name in scores) / total
 
     def as_dict(self) -> dict[str, float]:
-        """The four criterion scores as a dictionary."""
-        return {
+        """The criterion scores as a dictionary.
+
+        ``answer_agreement`` appears only once observed, so consumers of
+        the four classic criteria are unaffected."""
+        scores = {
             "completeness": self.completeness,
             "accuracy": self.accuracy,
             "consistency": self.consistency,
             "relevance": self.relevance,
         }
+        if self.answer_agreement is not None:
+            scores["answer_agreement"] = self.answer_agreement
+        return scores
 
 
 def evaluate_quality(

@@ -37,6 +37,7 @@ __all__ = [
     "AccuracyStats",
     "ConsistencyStats",
     "RelevanceStats",
+    "AnswerAgreementStats",
     "QualityStats",
     "build_stats",
     "build_reference_index",
@@ -479,6 +480,60 @@ class RelevanceStats:
 
 
 @dataclass
+class AnswerAgreementStats:
+    """Certain-vs-repaired answer agreement across a query workload.
+
+    Unlike the row-fed accumulators this one is fed by
+    ``Wrangler.query(mode="both")`` observations: per query it keeps the
+    Jaccard sufficient statistic (``|certain ∩ repaired|``,
+    ``|certain ∪ repaired|``) keyed by the query text, so re-running a
+    workload after feedback *replaces* a query's contribution instead of
+    double-counting it. The value is the micro-averaged overlap — low
+    agreement flags queries whose answers still hinge on unrepaired
+    conflicts, which is exactly where the pay-as-you-go loop should spend
+    its next feedback budget.
+    """
+
+    #: Query text → (intersection size, union size).
+    entries: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def queries(self) -> int:
+        """Number of distinct queries observed."""
+        return len(self.entries)
+
+    def observe(
+        self, query: str, certain: Iterable[tuple], repaired: Iterable[tuple]
+    ) -> None:
+        """Record (or refresh) one query's certain and repaired answers."""
+        certain_set = {tuple(row) for row in certain}
+        repaired_set = {tuple(row) for row in repaired}
+        self.entries[query] = (
+            len(certain_set & repaired_set),
+            len(certain_set | repaired_set),
+        )
+
+    def forget(self, query: str) -> None:
+        """Drop a query's contribution (workload shrank)."""
+        self.entries.pop(query, None)
+
+    def merge(self, other: "AnswerAgreementStats") -> None:
+        """Adopt another accumulator's observations (theirs win on overlap)."""
+        self.entries.update(other.entries)
+
+    def value(self) -> float:
+        """Micro-averaged Jaccard agreement; 1.0 with nothing observed."""
+        if not self.entries:
+            return 1.0
+        agree = sum(intersection for intersection, _union in self.entries.values())
+        total = sum(union for _intersection, union in self.entries.values())
+        if total == 0:
+            # Every query returned no answers in either mode: full agreement.
+            return 1.0
+        return agree / total
+
+
+@dataclass
 class QualityStats:
     """The four criterion accumulators for one relation, as one unit.
 
@@ -494,6 +549,10 @@ class QualityStats:
     accuracy: AccuracyStats | None = None
     relevance: RelevanceStats | None = None
     completeness_weights: dict[str, float] | None = None
+    #: Query-workload agreement; attached lazily by ``Wrangler.query`` —
+    #: row-fed paths never create or touch it, keeping ``finalise`` on the
+    #: four classic criteria bit-identical to ``evaluate_quality``.
+    answer_agreement: AnswerAgreementStats | None = None
 
     @property
     def row_count(self) -> int:
@@ -596,6 +655,13 @@ class QualityStats:
             self.accuracy.merge(other.accuracy)
         if self.relevance is not None and other.relevance is not None:
             self.relevance.merge(other.relevance)
+        if other.answer_agreement is not None:
+            if self.answer_agreement is None:
+                self.answer_agreement = AnswerAgreementStats(
+                    entries=dict(other.answer_agreement.entries)
+                )
+            else:
+                self.answer_agreement.merge(other.answer_agreement)
 
     # -- finalisation ---------------------------------------------------------
 
@@ -619,6 +685,11 @@ class QualityStats:
             relevance=self.relevance.value() if self.relevance is not None else 0.5,
             attribute_completeness=completeness_by_attribute,
             row_count=self.completeness.row_count,
+            answer_agreement=(
+                self.answer_agreement.value()
+                if self.answer_agreement is not None
+                else None
+            ),
         )
 
 

@@ -89,6 +89,10 @@ class SynthConfig:
     mix_families: tuple[str, ...] = ()
     #: Entities per mixed-in distractor source (0 → entities // 10).
     mix_entities: int = 0
+    #: Number of conjunctive queries to generate alongside the scenario
+    #: (``details["query_workload"]``), each with its ground-truth certain
+    #: answers — the CQA evaluation workload. 0 → no workload.
+    query_workload: int = 0
     #: Scenario label; defaults to ``{family}-s{seed}``.
     name: str | None = None
 
@@ -131,6 +135,9 @@ class SynthConfig:
                 )
         if self.mix_entities < 0:
             raise ValueError(f"mix_entities must be >= 0, got {self.mix_entities}")
+        if self.query_workload < 0:
+            raise ValueError(
+                f"query_workload must be >= 0, got {self.query_workload}")
 
 
 @dataclass(frozen=True)
@@ -308,6 +315,10 @@ def _generate_from_family(family: ScenarioFamily, config: SynthConfig) -> Scenar
     reference = _reference_table(rng, family, config, vocab)
     master = _master_table(rng, family, config, entities)
 
+    details: dict[str, Any] = {"directory_size": len(vocab.get("directory", ()))}
+    if config.query_workload > 0:
+        details["query_workload"] = _query_workload(family, config, entities, vocab)
+
     return Scenario(
         name=config.label(),
         family=family.name,
@@ -319,8 +330,143 @@ def _generate_from_family(family: ScenarioFamily, config: SynthConfig) -> Scenar
         reference=reference,
         master=master,
         config=config,
-        details={"directory_size": len(vocab.get("directory", ()))},
+        details=details,
     )
+
+
+def _quote(value: Any) -> str:
+    """Render one constant in the compact query text form."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if '"' in text:
+        raise ValueError(f"cannot quote constant {text!r} in a query")
+    return f'"{text}"'
+
+
+def _query_workload(
+    family: ScenarioFamily,
+    config: SynthConfig,
+    entities: Sequence[Mapping[str, Any]],
+    vocab: Mapping[str, Any],
+) -> list[dict[str, Any]]:
+    """``config.query_workload`` conjunctive queries with ground-truth answers.
+
+    The suite cycles through shapes that exercise both sides of the
+    rewriting frontier: key lookups, scans, constant filters and (for
+    join-shaped families) key joins through the lookup registry are
+    first-order rewritable under the evaluation key; a sharing self-join is
+    generated as the enumeration-fallback specimen. Every query is
+    evaluated over the clean ground-truth instance — its certain answers
+    under *any* repair semantics, the oracle the benchmarks assert against.
+    """
+    from repro.cqa import parse_query, query_answers
+
+    target = family.target_relation
+    key_attr = family.evaluation_key[0]
+    schemas: dict[str, tuple[str, ...]] = {
+        target: tuple(spec.name for spec in family.fields)
+    }
+    tables: dict[str, list[tuple]] = {
+        target: [
+            tuple(entity[spec.name] for spec in family.fields) for entity in entities
+        ]
+    }
+    if family.lookup_fields and family.lookup_relation:
+        lookup = _lookup_table(family, vocab)
+        schemas[family.lookup_relation] = tuple(lookup.schema.attribute_names)
+        tables[family.lookup_relation] = lookup.tuples()
+
+    lookup_only = set(family.lookup_fields)
+    value_attr = next(
+        spec.name
+        for spec in family.fields
+        if spec.name != key_attr and spec.name not in lookup_only
+    )
+    # The filter attribute is the lowest-cardinality string field — selective
+    # enough to be interesting, common enough that filters return rows.
+    string_fields = [
+        spec.name
+        for spec in family.fields
+        if spec.dtype is DataType.STRING
+        and spec.name != key_attr
+        and spec.name not in lookup_only
+    ]
+    cardinality = {
+        name: len({entity[name] for entity in entities}) for name in string_fields
+    }
+    eligible = [name for name in string_fields if cardinality[name] > 1]
+    filter_attr = (
+        min(eligible, key=lambda name: (cardinality[name], name))
+        if eligible
+        else value_attr
+    )
+
+    rng = _family_rng(config, family.name + "/query_workload")
+
+    def lookup_query(index: int) -> tuple[str, str, bool]:
+        entity = entities[rng.randrange(len(entities))]
+        text = (
+            f"q{index}(V) :- {target}({key_attr}={_quote(entity[key_attr])}, "
+            f"{value_attr}=V)."
+        )
+        return text, "lookup", True
+
+    def scan_query(index: int) -> tuple[str, str, bool]:
+        return (
+            f"q{index}(K, V) :- {target}({key_attr}=K, {value_attr}=V).",
+            "scan",
+            True,
+        )
+
+    def filter_query(index: int) -> tuple[str, str, bool]:
+        entity = entities[rng.randrange(len(entities))]
+        text = (
+            f"q{index}(K) :- {target}({key_attr}=K, "
+            f"{filter_attr}={_quote(entity[filter_attr])})."
+        )
+        return text, "filter", True
+
+    def join_query(index: int) -> tuple[str, str, bool]:
+        join_attr = family.lookup_key
+        carried = family.lookup_fields[-1]
+        text = (
+            f"q{index}(K, M) :- {target}({key_attr}=K, {join_attr}=D), "
+            f"{family.lookup_relation}({join_attr}=D, {carried}=M)."
+        )
+        return text, "join", True
+
+    def self_join_query(index: int) -> tuple[str, str, bool]:
+        entity = entities[rng.randrange(len(entities))]
+        text = (
+            f"q{index}(K) :- {target}({key_attr}=K, {filter_attr}=F), "
+            f"{target}({key_attr}={_quote(entity[key_attr])}, {filter_attr}=F)."
+        )
+        return text, "self_join", False
+
+    shapes = [lookup_query, scan_query, filter_query]
+    if family.lookup_fields and family.lookup_relation:
+        shapes.append(join_query)
+    shapes.append(self_join_query)
+
+    workload = []
+    for index in range(config.query_workload):
+        text, kind, rewritable = shapes[index % len(shapes)](index)
+        parsed = parse_query(text)
+        answers = query_answers(parsed, schemas, tables)
+        workload.append(
+            {
+                "query": text,
+                "kind": kind,
+                "rewritable": rewritable,
+                "answers": [list(row) for row in answers],
+            }
+        )
+    return workload
 
 
 def _lookup_table(family: ScenarioFamily, vocab: Mapping[str, Any]) -> Table:

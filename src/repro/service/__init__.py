@@ -26,6 +26,8 @@ from repro.service.api import (
     FeedbackRequest,
     JobRecord,
     JobStatus,
+    QueryRequest,
+    QueryResponse,
     RunRequest,
     SessionMetrics,
     SimulateRequest,
@@ -48,6 +50,8 @@ __all__ = [
     "JobQueue",
     "JobRecord",
     "JobStatus",
+    "QueryRequest",
+    "QueryResponse",
     "RateLimitExceeded",
     "RateLimiter",
     "RunRequest",

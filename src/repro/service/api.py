@@ -35,6 +35,8 @@ __all__ = [
     "FeedbackRequest",
     "JobRecord",
     "JobStatus",
+    "QueryRequest",
+    "QueryResponse",
     "REQUEST_KINDS",
     "RunRequest",
     "SessionMetrics",
@@ -244,6 +246,56 @@ class SimulateRequest:
 
 
 @dataclass(frozen=True)
+class QueryRequest:
+    """Answer a conjunctive query over the session's result.
+
+    ``mode="certain"`` computes the certain answers over the *unrepaired*
+    base tables under the session's primary keys (explicit ``keys``, else
+    learned exact CFDs, else the scenario's evaluation key);
+    ``mode="repaired"`` answers over the current result; ``mode="both"``
+    does both and records their agreement as a quality signal.
+    """
+
+    kind = "query"
+    query: str = ""
+    mode: str = "certain"
+    #: Primary keys per relation; None defers to the session's defaults.
+    keys: dict[str, tuple[str, ...]] | None = None
+    #: Repair-enumeration budget for non-rewritable queries.
+    max_repairs: int | None = None
+    timeout_seconds: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "query": self.query,
+            "mode": self.mode,
+            "keys": None if self.keys is None
+            else {relation: list(attrs) for relation, attrs in self.keys.items()},
+            "max_repairs": self.max_repairs,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+        raw_keys = payload.get("keys")
+        keys = None
+        if raw_keys is not None:
+            keys = {
+                str(relation): (attrs,) if isinstance(attrs, str) else tuple(attrs)
+                for relation, attrs in raw_keys.items()
+            }
+        max_repairs = payload.get("max_repairs")
+        timeout = payload.get("timeout_seconds")
+        return cls(
+            query=str(payload.get("query", "")),
+            mode=str(payload.get("mode", "certain")),
+            keys=keys,
+            max_repairs=None if max_repairs is None else int(max_repairs),
+            timeout_seconds=None if timeout is None else float(timeout),
+        )
+
+
+@dataclass(frozen=True)
 class CheckpointRequest:
     """Persist the session's full state to disk (see ``SessionStore``)."""
 
@@ -269,6 +321,7 @@ REQUEST_KINDS = {
         ExplainRequest,
         EvaluateRequest,
         SimulateRequest,
+        QueryRequest,
         CheckpointRequest,
     )
 }
@@ -359,6 +412,66 @@ class ExplainResponse:
             session_id=str(payload["session_id"]),
             tree=dict(payload.get("tree", {})),
             text=str(payload.get("text", "")),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The answers of one query round, JSON-shaped.
+
+    Mirrors :class:`repro.wrangler.pipeline.QueryOutcome`: ``certain`` and
+    ``repaired`` are answer-row lists (None when the mode skipped them),
+    boolean queries use ``[[]]`` for *certainly true* and ``[]`` for *not
+    certain*.
+    """
+
+    session_id: str
+    query: str
+    mode: str
+    certain: list[list] | None = None
+    repaired: list[list] | None = None
+    method: str | None = None
+    rewritable: bool | None = None
+    reason: str = ""
+    keys: dict[str, list[str]] = field(default_factory=dict)
+    agreement: float | None = None
+    exact: bool = True
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "query": self.query,
+            "mode": self.mode,
+            "certain": self.certain,
+            "repaired": self.repaired,
+            "method": self.method,
+            "rewritable": self.rewritable,
+            "reason": self.reason,
+            "keys": {relation: list(attrs) for relation, attrs in self.keys.items()},
+            "agreement": self.agreement,
+            "exact": self.exact,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryResponse":
+        certain = payload.get("certain")
+        repaired = payload.get("repaired")
+        agreement = payload.get("agreement")
+        return cls(
+            session_id=str(payload["session_id"]),
+            query=str(payload.get("query", "")),
+            mode=str(payload.get("mode", "certain")),
+            certain=None if certain is None else [list(row) for row in certain],
+            repaired=None if repaired is None else [list(row) for row in repaired],
+            method=payload.get("method"),
+            rewritable=payload.get("rewritable"),
+            reason=str(payload.get("reason", "")),
+            keys={str(k): list(v) for k, v in payload.get("keys", {}).items()},
+            agreement=None if agreement is None else float(agreement),
+            exact=bool(payload.get("exact", True)),
+            details=dict(payload.get("details", {})),
         )
 
 

@@ -26,6 +26,7 @@ from repro.service.api import (
     EvaluateRequest,
     ExplainRequest,
     FeedbackRequest,
+    QueryRequest,
     RunRequest,
     SimulateRequest,
 )
@@ -145,6 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("session")
     result.add_argument("--limit", type=int, default=10)
 
+    query = remote("query", "answer a conjunctive query (certain/repaired)")
+    query.add_argument("session")
+    query.add_argument("query",
+                       help="compact query text, e.g. "
+                            "'q(P, X) :- property(postcode=P, price=X).'")
+    query.add_argument("--mode", default="certain",
+                       choices=("certain", "repaired", "both"))
+    query.add_argument("--key", action="append", default=[],
+                       metavar="RELATION=ATTR[,ATTR...]",
+                       help="primary key override; repeatable "
+                            "(default: learned CFDs / scenario key)")
+    query.add_argument("--max-repairs", type=int, default=None,
+                       help="repair-enumeration budget for non-rewritable queries")
+    query.add_argument("--timeout", type=float, default=None,
+                       help="enumeration wall-clock budget in seconds")
+
     checkpoint = remote("checkpoint", "persist a session to disk")
     checkpoint.add_argument("session")
     checkpoint.add_argument("--path", default=None)
@@ -210,6 +227,21 @@ def main(argv: list[str] | None = None) -> int:
         _emit(client.perform(args.session, EvaluateRequest(use_stats=args.use_stats)))
     elif args.command == "result":
         _emit(client.result(args.session, limit=args.limit))
+    elif args.command == "query":
+        keys = None
+        if args.key:
+            keys = {}
+            for spec in args.key:
+                relation, _, attrs = spec.partition("=")
+                if not relation or not attrs:
+                    print(f"bad --key {spec!r}; use RELATION=ATTR[,ATTR...]",
+                          file=sys.stderr)
+                    return 2
+                keys[relation] = tuple(a for a in attrs.split(",") if a)
+        _emit(client.perform(args.session,
+                             QueryRequest(query=args.query, mode=args.mode,
+                                          keys=keys, max_repairs=args.max_repairs,
+                                          timeout_seconds=args.timeout)))
     elif args.command == "checkpoint":
         _emit(client.checkpoint(args.session, path=args.path))
     elif args.command == "restore":

@@ -253,6 +253,10 @@ class WranglingServer:
             if rest == ["jobs"]:
                 self._expect(method, "POST")
                 return 202, self._submit(session_id, body, tenant)
+            if rest == ["query"]:
+                self._expect(method, "POST")
+                body = {"kind": "query", "request": body}
+                return 202, self._submit(session_id, body, tenant)
             if rest == ["checkpoint"]:
                 self._expect(method, "POST")
                 body = {"kind": "checkpoint", "request": {"path": body.get("path")}}

@@ -42,6 +42,8 @@ from repro.service.api import (
     ExplainRequest,
     ExplainResponse,
     FeedbackRequest,
+    QueryRequest,
+    QueryResponse,
     RunRequest,
     SessionMetrics,
     SimulateRequest,
@@ -156,6 +158,7 @@ class WranglingSession:
             ExplainRequest: self.explain,
             EvaluateRequest: self.evaluate,
             SimulateRequest: self.simulate,
+            QueryRequest: self.query,
             CheckpointRequest: self._checkpoint_request,
         }
         try:
@@ -259,6 +262,54 @@ class WranglingSession:
                 evaluate=request.evaluate,
             )
         )
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer a conjunctive query over the session's result.
+
+        Key resolution order: explicit request keys, else keys derived from
+        the learned exact CFDs, else — for scenario-backed sessions — the
+        scenario's evaluation key on the target relation.
+        """
+        from repro.cqa import EnumerationConfig
+
+        keys = request.keys
+        if keys is None:
+            keys = self._default_query_keys()
+        enumeration = None
+        if request.max_repairs is not None or request.timeout_seconds is not None:
+            enumeration = EnumerationConfig(
+                max_repairs=request.max_repairs
+                if request.max_repairs is not None
+                else EnumerationConfig.max_repairs,
+                timeout_seconds=request.timeout_seconds,
+            )
+        outcome = self._wrangler.query(
+            request.query, mode=request.mode, keys=keys, enumeration=enumeration)
+        self.requests_served += 1
+        self.last_phase = "query"
+        payload = outcome.as_dict()
+        return QueryResponse(session_id=self.session_id, **payload)
+
+    def _default_query_keys(self) -> dict[str, tuple[str, ...]] | None:
+        """Scenario evaluation key as the key default, when CFDs offer none.
+
+        Returns None (let the wrangler derive keys from learned CFDs) unless
+        no exact CFDs exist, in which case a scenario-backed session falls
+        back to its evaluation key on the target relation.
+        """
+        from repro.quality.transducers import CFD_ARTIFACT_KEY
+
+        learned = self._wrangler.kb.get_artifact(CFD_ARTIFACT_KEY)
+        if learned is not None and learned.cfds:
+            return None
+        if self.scenario is None:
+            return None
+        target = self._wrangler.target_relation
+        if target is None:
+            return None
+        key = self.scenario.evaluation_key
+        key = (key,) if isinstance(key, str) else tuple(key)
+        return {target: key} if key else None
 
     # -- checkpoint / restore -------------------------------------------------
 

@@ -10,10 +10,11 @@ from repro.wrangler.batch import (
     wrangle_scenario,
 )
 from repro.wrangler.config import WranglerConfig
-from repro.wrangler.pipeline import Wrangler, build_default_registry
+from repro.wrangler.pipeline import QueryOutcome, Wrangler, build_default_registry
 from repro.wrangler.result import WranglingResult
 
 __all__ = [
+    "QueryOutcome",
     "Wrangler",
     "WranglerConfig",
     "WranglingResult",

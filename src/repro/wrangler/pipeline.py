@@ -26,11 +26,20 @@ Typical usage::
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.context.data_context import DataContext
 from repro.context.transducers import CriterionWeightTransducer
 from repro.context.user_context import UserContext
+from repro.cqa import (
+    ConjunctiveQuery,
+    EnumerationConfig,
+    answer_certain,
+    keys_from_cfds,
+    parse_query,
+    query_answers,
+)
 from repro.core.facts import Feedback, Predicates
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.orchestrator import NetworkTransducer, Orchestrator
@@ -59,6 +68,7 @@ from repro.matching.transducers import InstanceMatchingTransducer, SchemaMatchin
 from repro.provenance.explain import LineageTree, explain_result, render_lineage
 from repro.provenance.model import ProvenanceStore, provenance_store
 from repro.quality.metrics import QualityReport, evaluate_quality
+from repro.quality.stats import AnswerAgreementStats
 from repro.quality.transducers import (
     CFD_ARTIFACT_KEY,
     CFDLearningTransducer,
@@ -74,7 +84,16 @@ from repro.wrangler.result import WranglingResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service wraps us)
     from repro.service.session import WranglingSession
 
-__all__ = ["Wrangler", "build_default_registry"]
+__all__ = [
+    "Wrangler",
+    "QueryOutcome",
+    "build_default_registry",
+    "CQA_AGREEMENT_ARTIFACT_KEY",
+]
+
+#: Artifact key for the per-query certain-vs-repaired agreement records
+#: written by :meth:`Wrangler.query` in ``mode="both"``.
+CQA_AGREEMENT_ARTIFACT_KEY = "cqa_agreement"
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -85,6 +104,49 @@ def _deprecated(old: str, new: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The answers of one :meth:`Wrangler.query` call.
+
+    ``certain`` holds the certain answers over the unrepaired base tables,
+    ``repaired`` the plain answers over the current (repaired) result;
+    either is ``None`` when the mode did not request it. Boolean queries
+    use ``((),)`` for *certainly true* and ``()`` for *not certain*.
+    """
+
+    query: str
+    mode: str
+    certain: tuple[tuple, ...] | None
+    repaired: tuple[tuple, ...] | None
+    #: ``"rewriting"`` or ``"enumeration"`` (None when certain was skipped).
+    method: str | None
+    rewritable: bool | None
+    reason: str
+    #: The primary keys the certain semantics ran under.
+    keys: dict[str, tuple[str, ...]]
+    #: Jaccard overlap of certain and repaired answers (``mode="both"``).
+    agreement: float | None
+    #: False when a sampled/timed-out enumeration over-approximated.
+    exact: bool
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly rendering (answer tuples become lists)."""
+        return {
+            "query": self.query,
+            "mode": self.mode,
+            "certain": None if self.certain is None else [list(r) for r in self.certain],
+            "repaired": None if self.repaired is None else [list(r) for r in self.repaired],
+            "method": self.method,
+            "rewritable": self.rewritable,
+            "reason": self.reason,
+            "keys": {relation: list(attrs) for relation, attrs in self.keys.items()},
+            "agreement": self.agreement,
+            "exact": self.exact,
+            "details": dict(self.details),
+        }
 
 
 def build_default_registry(config: WranglerConfig | None = None) -> TransducerRegistry:
@@ -123,27 +185,31 @@ def build_default_registry(config: WranglerConfig | None = None) -> TransducerRe
 class Wrangler:
     """A pay-as-you-go wrangling session over one knowledge base."""
 
-    def __init__(self, *, config: WranglerConfig | None = None,
-                 policy: NetworkTransducer | None = None,
-                 registry: TransducerRegistry | None = None):
+    def __init__(
+        self,
+        *,
+        config: WranglerConfig | None = None,
+        policy: NetworkTransducer | None = None,
+        registry: TransducerRegistry | None = None,
+    ):
         self._config = config or WranglerConfig()
         self._kb = KnowledgeBase()
         self._registry = registry if registry is not None else build_default_registry(self._config)
-        self._orchestrator = Orchestrator(self._kb, self._registry, policy,
-                                          max_steps=self._config.max_steps)
+        self._orchestrator = Orchestrator(
+            self._kb, self._registry, policy, max_steps=self._config.max_steps
+        )
         self._feedback = FeedbackCollector(self._kb)
         self._target_relation: str | None = None
         self._user_context: UserContext | None = None
         # Seed the session's provenance store so every transducer records
         # (or skips, when tracking is off) against the same instance.
-        self._provenance = provenance_store(
-            self._kb, enabled=self._config.track_provenance)
+        self._provenance = provenance_store(self._kb, enabled=self._config.track_provenance)
         # Seed the incremental-state artifact likewise: the pipeline
         # transducers snapshot their intermediate stages into it, which is
         # what lets apply_feedback patch results instead of re-running.
         self._incremental = incremental_state(
-            self._kb,
-            enabled=self._config.enable_incremental and self._config.track_provenance)
+            self._kb, enabled=self._config.enable_incremental and self._config.track_provenance
+        )
 
     # -- accessors -------------------------------------------------------------
 
@@ -192,8 +258,9 @@ class Wrangler:
         """Register several source tables."""
         return [self.add_source(table) for table in tables]
 
-    def add_web_source(self, name: str, pages: Sequence[ResultPage], *,
-                       wrapper: SiteWrapper | None = None) -> None:
+    def add_web_source(
+        self, name: str, pages: Sequence[ResultPage], *, wrapper: SiteWrapper | None = None
+    ) -> None:
         """Register a deep-web source as pages; extraction will wrangle it."""
         register_web_source(self._kb, name, pages, wrapper=wrapper)
 
@@ -228,26 +295,35 @@ class Wrangler:
 
     # -- feedback (Figure 3(c)) ---------------------------------------------------
 
-    def feedback_on_attribute(self, row_key: str, attribute: str, *, correct: bool,
-                              relation: str | None = None) -> Feedback:
+    def feedback_on_attribute(
+        self, row_key: str, attribute: str, *, correct: bool, relation: str | None = None
+    ) -> Feedback:
         """Attribute-level feedback on one result cell."""
         return self._feedback.annotate_attribute(
-            relation or self.result_name(), row_key, attribute, correct=correct)
+            relation or self.result_name(), row_key, attribute, correct=correct
+        )
 
-    def feedback_on_tuple(self, row_key: str, *, correct: bool,
-                          relation: str | None = None) -> Feedback:
+    def feedback_on_tuple(
+        self, row_key: str, *, correct: bool, relation: str | None = None
+    ) -> Feedback:
         """Tuple-level feedback on one result row."""
         return self._feedback.annotate_tuple(
-            relation or self.result_name(), row_key, correct=correct)
+            relation or self.result_name(), row_key, correct=correct
+        )
 
     def add_feedback(self, annotations: Iterable[Feedback]) -> int:
         """Assert a batch of pre-built feedback annotations."""
         return self._feedback.annotate_many(annotations)
 
-    def simulate_feedback(self, ground_truth: Table, *, budget: int = 50,
-                          seed: int | None = None,
-                          key: Sequence[str] = ("postcode", "price"),
-                          strategy: str = "targeted") -> int:
+    def simulate_feedback(
+        self,
+        ground_truth: Table,
+        *,
+        budget: int = 50,
+        seed: int | None = None,
+        key: Sequence[str] = ("postcode", "price"),
+        strategy: str = "targeted",
+    ) -> int:
         """Simulate a user annotating ``budget`` result cells against ground truth.
 
         The default ``targeted`` strategy mirrors the paper's motivation:
@@ -260,35 +336,46 @@ class Wrangler:
             return 0
         if seed is None:
             seed = self._config.seed
-        annotations = simulate_feedback(table, ground_truth, key,
-                                        budget=budget, seed=seed, strategy=strategy)
+        annotations = simulate_feedback(
+            table, ground_truth, key, budget=budget, seed=seed, strategy=strategy
+        )
         return self.add_feedback(annotations)
 
     # -- incremental revisions (the cheap side of the feedback loop) -------------
 
-    def apply_feedback(self, annotations: Iterable[Feedback] | None = None, *,
-                       incremental: bool | None = None,
-                       ground_truth: Table | None = None,
-                       ground_truth_key: Sequence[str] = ("postcode", "price"),
-                       evaluate: bool = True) -> WranglingResult:
+    def apply_feedback(
+        self,
+        annotations: Iterable[Feedback] | None = None,
+        *,
+        incremental: bool | None = None,
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Deprecated shim — use ``session().feedback(FeedbackRequest(...))``.
 
         The behaviour is unchanged (see :meth:`_apply_feedback`); the typed
         session surface in :mod:`repro.service` is the supported entry point
         for feedback rounds.
         """
-        _deprecated("apply_feedback(...)",
-                    "WranglingSession.feedback(FeedbackRequest(...))")
-        return self._apply_feedback(annotations, incremental=incremental,
-                                    ground_truth=ground_truth,
-                                    ground_truth_key=ground_truth_key,
-                                    evaluate=evaluate)
+        _deprecated("apply_feedback(...)", "WranglingSession.feedback(FeedbackRequest(...))")
+        return self._apply_feedback(
+            annotations,
+            incremental=incremental,
+            ground_truth=ground_truth,
+            ground_truth_key=ground_truth_key,
+            evaluate=evaluate,
+        )
 
-    def _apply_feedback(self, annotations: Iterable[Feedback] | None = None, *,
-                        incremental: bool | None = None,
-                        ground_truth: Table | None = None,
-                        ground_truth_key: Sequence[str] = ("postcode", "price"),
-                        evaluate: bool = True) -> WranglingResult:
+    def _apply_feedback(
+        self,
+        annotations: Iterable[Feedback] | None = None,
+        *,
+        incremental: bool | None = None,
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Assert feedback and bring the result up to date — incrementally.
 
         This is the feedback loop's fast path: instead of re-running the
@@ -311,32 +398,53 @@ class Wrangler:
         if incremental is None:
             incremental = self._config.enable_incremental
         if not incremental:
-            return self.run("feedback", ground_truth=ground_truth,
-                            ground_truth_key=ground_truth_key, evaluate=evaluate)
+            return self.run(
+                "feedback",
+                ground_truth=ground_truth,
+                ground_truth_key=ground_truth_key,
+                evaluate=evaluate,
+            )
         from repro.provenance.feedback import LineageFeedbackPropagator
 
         change_set = LineageFeedbackPropagator().emit_deltas(
-            self._kb, seen=self._incremental.seen_feedback)
-        return self._apply_change_set(change_set, phase="feedback",
-                                      ground_truth=ground_truth,
-                                      ground_truth_key=ground_truth_key,
-                                      evaluate=evaluate)
+            self._kb, seen=self._incremental.seen_feedback
+        )
+        return self._apply_change_set(
+            change_set,
+            phase="feedback",
+            ground_truth=ground_truth,
+            ground_truth_key=ground_truth_key,
+            evaluate=evaluate,
+        )
 
-    def apply_change_set(self, change_set: ChangeSet, *, phase: str = "revision",
-                         ground_truth: Table | None = None,
-                         ground_truth_key: Sequence[str] = ("postcode", "price"),
-                         evaluate: bool = True) -> WranglingResult:
+    def apply_change_set(
+        self,
+        change_set: ChangeSet,
+        *,
+        phase: str = "revision",
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Deprecated shim — use ``session().apply(ChangeSet(...))``."""
         _deprecated("apply_change_set(...)", "WranglingSession.apply(change_set)")
-        return self._apply_change_set(change_set, phase=phase,
-                                      ground_truth=ground_truth,
-                                      ground_truth_key=ground_truth_key,
-                                      evaluate=evaluate)
+        return self._apply_change_set(
+            change_set,
+            phase=phase,
+            ground_truth=ground_truth,
+            ground_truth_key=ground_truth_key,
+            evaluate=evaluate,
+        )
 
-    def _apply_change_set(self, change_set: ChangeSet, *, phase: str = "revision",
-                          ground_truth: Table | None = None,
-                          ground_truth_key: Sequence[str] = ("postcode", "price"),
-                          evaluate: bool = True) -> WranglingResult:
+    def _apply_change_set(
+        self,
+        change_set: ChangeSet,
+        *,
+        phase: str = "revision",
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Apply an arbitrary change set through the incremental engine.
 
         Falls back to a full orchestrated run when the engine reports the
@@ -346,8 +454,12 @@ class Wrangler:
         engine = IncrementalWrangler(self._kb, registry=self._registry)
         outcome = engine.apply(change_set)
         if not outcome.applied:
-            result = self.run(phase, ground_truth=ground_truth,
-                              ground_truth_key=ground_truth_key, evaluate=evaluate)
+            result = self.run(
+                phase,
+                ground_truth=ground_truth,
+                ground_truth_key=ground_truth_key,
+                evaluate=evaluate,
+            )
             result.details["incremental"] = outcome.describe()
             return result
         table = self.result()
@@ -370,24 +482,37 @@ class Wrangler:
             catalog=self._kb.catalog,
         )
 
-    def append_source_rows(self, relation: str, rows: Iterable[Sequence], *,
-                           incremental: bool | None = None,
-                           ground_truth: Table | None = None,
-                           ground_truth_key: Sequence[str] = ("postcode", "price"),
-                           evaluate: bool = True) -> WranglingResult:
+    def append_source_rows(
+        self,
+        relation: str,
+        rows: Iterable[Sequence],
+        *,
+        incremental: bool | None = None,
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Deprecated shim — use ``session().append(AppendRequest(...))``."""
-        _deprecated("append_source_rows(...)",
-                    "WranglingSession.append(AppendRequest(...))")
-        return self._append_source_rows(relation, rows, incremental=incremental,
-                                        ground_truth=ground_truth,
-                                        ground_truth_key=ground_truth_key,
-                                        evaluate=evaluate)
+        _deprecated("append_source_rows(...)", "WranglingSession.append(AppendRequest(...))")
+        return self._append_source_rows(
+            relation,
+            rows,
+            incremental=incremental,
+            ground_truth=ground_truth,
+            ground_truth_key=ground_truth_key,
+            evaluate=evaluate,
+        )
 
-    def _append_source_rows(self, relation: str, rows: Iterable[Sequence], *,
-                            incremental: bool | None = None,
-                            ground_truth: Table | None = None,
-                            ground_truth_key: Sequence[str] = ("postcode", "price"),
-                            evaluate: bool = True) -> WranglingResult:
+    def _append_source_rows(
+        self,
+        relation: str,
+        rows: Iterable[Sequence],
+        *,
+        incremental: bool | None = None,
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Append rows to a registered source and update the result.
 
         Existing ``source:index`` row identities stay valid, so the
@@ -405,18 +530,30 @@ class Wrangler:
             origin=f"append {len(appended)} rows to {relation}",
         )
         if not incremental:
-            return self.run("revision", ground_truth=ground_truth,
-                            ground_truth_key=ground_truth_key, evaluate=evaluate)
-        return self._apply_change_set(change_set, phase="revision",
-                                      ground_truth=ground_truth,
-                                      ground_truth_key=ground_truth_key,
-                                      evaluate=evaluate)
+            return self.run(
+                "revision",
+                ground_truth=ground_truth,
+                ground_truth_key=ground_truth_key,
+                evaluate=evaluate,
+            )
+        return self._apply_change_set(
+            change_set,
+            phase="revision",
+            ground_truth=ground_truth,
+            ground_truth_key=ground_truth_key,
+            evaluate=evaluate,
+        )
 
     # -- running -----------------------------------------------------------------------
 
-    def run(self, phase: str = "", *, ground_truth: Table | None = None,
-            ground_truth_key: Sequence[str] = ("postcode", "price"),
-            evaluate: bool = True) -> WranglingResult:
+    def run(
+        self,
+        phase: str = "",
+        *,
+        ground_truth: Table | None = None,
+        ground_truth_key: Sequence[str] = ("postcode", "price"),
+        evaluate: bool = True,
+    ) -> WranglingResult:
         """Orchestrate to quiescence and package the outcome of this stage.
 
         ``evaluate=False`` skips the quality report (an O(rows) diagnostic),
@@ -486,8 +623,10 @@ class Wrangler:
 
     def candidate_mappings(self) -> list[SchemaMapping]:
         """All candidate mappings currently known."""
-        return sorted(self._kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {}).values(),
-                      key=lambda mapping: mapping.mapping_id)
+        return sorted(
+            self._kb.get_artifact(MAPPINGS_ARTIFACT_KEY, {}).values(),
+            key=lambda mapping: mapping.mapping_id,
+        )
 
     def explain(self, row: int | str, column: str | None = None) -> LineageTree:
         """Why-provenance of one result cell (or tuple when ``column`` is None).
@@ -500,16 +639,220 @@ class Wrangler:
         Raises ``LookupError`` when there is no result yet or tracking is
         disabled.
         """
-        return explain_result(self.result(), self._provenance, row, column,
-                              catalog=self._kb.catalog)
+        return explain_result(
+            self.result(), self._provenance, row, column, catalog=self._kb.catalog
+        )
 
     def explain_text(self, row: int | str, column: str | None = None) -> str:
         """Human-readable rendering of :meth:`explain`."""
         return render_lineage(self.explain(row, column))
 
-    def evaluate(self, *, ground_truth: Table | None = None,
-                 key: Sequence[str] = ("postcode", "price"),
-                 use_stats: bool | None = None) -> QualityReport | None:
+    # -- querying ------------------------------------------------------------------------
+
+    def query(
+        self,
+        query: "ConjunctiveQuery | str",
+        *,
+        mode: str = "certain",
+        keys: Mapping[str, Sequence[str] | str] | None = None,
+        enumeration: EnumerationConfig | None = None,
+        record: bool = True,
+    ) -> QueryOutcome:
+        """Answer a conjunctive query over the wrangled result.
+
+        ``mode="certain"`` computes the answers that hold in *every* repair
+        of the unrepaired base tables (the pre-repair, pre-feedback
+        snapshot kept by the incremental engine) — rewritable queries run
+        as datalog over the dirty tables, everything else falls back to
+        bounded repair enumeration governed by ``enumeration``.
+        ``mode="repaired"`` evaluates plainly over the current result;
+        ``mode="both"`` computes the two and records their agreement as a
+        quality signal (see ``CQA_AGREEMENT_ARTIFACT_KEY`` and the
+        ``answer_agreement`` criterion), unless ``record=False``.
+
+        Atoms may name the target relation (or the result relation) for the
+        wrangled result; any other relation resolves from the catalog
+        (lookup/reference/source tables, treated as consistent unless
+        ``keys`` says otherwise). ``keys`` overrides the primary keys; by
+        default they are derived from the exact CFDs learned by the
+        pipeline.
+        """
+        if mode not in ("certain", "repaired", "both"):
+            raise ValueError(f"unknown query mode {mode!r}; use certain, repaired or both")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        text = str(parsed)
+        schemas, certain_tables, repaired_tables, details = self._query_environment(parsed)
+        resolved_keys = self._resolve_query_keys(schemas, keys)
+        certain = repaired = None
+        method = rewritable = agreement = None
+        reason = ""
+        exact = True
+        if mode != "repaired":
+            outcome = answer_certain(
+                parsed, schemas, certain_tables, resolved_keys, enumeration=enumeration
+            )
+            certain = outcome.answers
+            method = outcome.method
+            rewritable = outcome.classification.rewritable
+            reason = outcome.classification.reason
+            exact = outcome.exact
+            if outcome.enumeration is not None:
+                details.update(
+                    repairs_evaluated=outcome.enumeration.repairs_evaluated,
+                    total_repairs=outcome.enumeration.total_repairs,
+                    truncated=outcome.enumeration.truncated,
+                    timed_out=outcome.enumeration.timed_out,
+                )
+        if mode != "certain":
+            repaired = query_answers(parsed, schemas, repaired_tables)
+        if certain is not None and repaired is not None:
+            union = set(certain) | set(repaired)
+            overlap = set(certain) & set(repaired)
+            agreement = 1.0 if not union else len(overlap) / len(union)
+            if record:
+                self._record_query_agreement(text, certain, repaired, method, agreement)
+        return QueryOutcome(
+            query=text,
+            mode=mode,
+            certain=certain,
+            repaired=repaired,
+            method=method,
+            rewritable=rewritable,
+            reason=reason,
+            keys=resolved_keys,
+            agreement=agreement,
+            exact=exact,
+            details=details,
+        )
+
+    def _query_environment(self, parsed: ConjunctiveQuery):
+        """Resolve every query relation to rows and schemas, in both modes.
+
+        The target (or result) relation binds to the unrepaired base
+        snapshot for certain semantics and to the current result for
+        repaired semantics; catalog relations are the same in both.
+        """
+        target = self._require_target()
+        result = self.result()
+        if result is None:
+            raise ValueError(
+                "no result has been materialised yet; run the pipeline before querying"
+            )
+        result_name = result_relation_name(target)
+        schemas: dict[str, tuple[str, ...]] = {}
+        certain_tables: dict[str, list[tuple]] = {}
+        repaired_tables: dict[str, list[tuple]] = {}
+        details: dict[str, Any] = {}
+        for relation in dict.fromkeys(parsed.relations()):
+            if relation in (target, result_name):
+                schemas[relation] = tuple(result.schema.attribute_names)
+                repaired_tables[relation] = result.tuples()
+                rows, note = self._unrepaired_rows(result)
+                certain_tables[relation] = rows
+                if note:
+                    details["base_note"] = note
+            else:
+                if not self._kb.has_table(relation):
+                    raise ValueError(f"unknown relation {relation!r} in query")
+                table = self._kb.get_table(relation)
+                schemas[relation] = tuple(table.schema.attribute_names)
+                repaired_tables[relation] = table.tuples()
+                certain_tables[relation] = table.tuples()
+        return schemas, certain_tables, repaired_tables, details
+
+    def _unrepaired_rows(self, result: Table) -> tuple[list[tuple], str]:
+        """The pre-repair, pre-feedback rows of the result relation.
+
+        Falls back to the current (repaired) result with a note when the
+        incremental engine has no trustworthy base snapshot — certain
+        answers are then certain with respect to that instance instead.
+        """
+        state = self._incremental.get(result.name)
+        if state is None or not state.ready:
+            return result.tuples(), "unrepaired snapshot unavailable; queried the current result"
+        if tuple(state.schema.attribute_names) != tuple(result.schema.attribute_names):
+            return result.tuples(), "base snapshot schema is stale; queried the current result"
+        rows = [state.base[key] for key in state.order if key in state.base]
+        if not rows:
+            return result.tuples(), "base snapshot empty; queried the current result"
+        return rows, ""
+
+    def _resolve_query_keys(
+        self,
+        schemas: Mapping[str, Sequence[str]],
+        keys: Mapping[str, Sequence[str] | str] | None,
+    ) -> dict[str, tuple[str, ...]]:
+        """Explicit keys win; otherwise derive them from exact learned CFDs.
+
+        Keys declared under the target relation name also cover the result
+        relation name and vice versa, matching atom-name aliasing.
+        """
+        target = self._target_relation
+        result_name = result_relation_name(target) if target is not None else None
+        aliases = {target: result_name, result_name: target}
+        if keys is not None:
+            resolved: dict[str, tuple[str, ...]] = {}
+            for relation, attrs in dict(keys).items():
+                key = (attrs,) if isinstance(attrs, str) else tuple(attrs)
+                if not key:
+                    continue
+                name = relation
+                if name not in schemas and aliases.get(name) in schemas:
+                    name = aliases[name]
+                resolved[name] = key
+            return resolved
+        learned = self._kb.get_artifact(CFD_ARTIFACT_KEY)
+        if learned is None or not learned.cfds:
+            return {}
+        cfd_schemas = dict(schemas)
+        for name, alias in aliases.items():
+            if alias in cfd_schemas and name is not None and name not in cfd_schemas:
+                cfd_schemas[name] = cfd_schemas[alias]
+        underscored = {
+            attribute
+            for attrs in schemas.values()
+            for attribute in attrs
+            if attribute.startswith("_")
+        }
+        exclude = tuple(sorted(underscored)) or ("_row_id",)
+        derived = keys_from_cfds(learned.cfds, cfd_schemas, exclude=exclude)
+        resolved = {}
+        for relation, key in derived.items():
+            name = relation
+            if name not in schemas and aliases.get(name) in schemas:
+                name = aliases[name]
+            if name in schemas:
+                resolved[name] = key
+        return resolved
+
+    def _record_query_agreement(
+        self, text: str, certain, repaired, method, agreement: float
+    ) -> None:
+        """Fold one ``mode="both"`` observation into the quality artifacts."""
+        result = self.result()
+        if result is not None:
+            stash = quality_stats_stash(self._kb, create=False)
+            entry = stash.get(result.name) if stash is not None else None
+            if entry is not None:
+                if entry.stats.answer_agreement is None:
+                    entry.stats.answer_agreement = AnswerAgreementStats()
+                entry.stats.answer_agreement.observe(text, certain, repaired)
+        records = dict(self._kb.get_artifact(CQA_AGREEMENT_ARTIFACT_KEY) or {})
+        records[text] = {
+            "agreement": agreement,
+            "certain_answers": len(set(certain)),
+            "repaired_answers": len(set(repaired)),
+            "method": method,
+        }
+        self._kb.store_artifact(CQA_AGREEMENT_ARTIFACT_KEY, records)
+
+    def evaluate(
+        self,
+        *,
+        ground_truth: Table | None = None,
+        key: Sequence[str] = ("postcode", "price"),
+        use_stats: bool | None = None,
+    ) -> QualityReport | None:
         """Quality of the current result.
 
         With ``ground_truth`` the result is scored against it (accuracy and
@@ -550,7 +893,7 @@ class Wrangler:
             )
             if report is not None:
                 return report
-        return evaluate_quality(
+        report = evaluate_quality(
             table,
             reference=reference,
             reference_key=reference_key,
@@ -559,9 +902,26 @@ class Wrangler:
             master=master,
             master_key=master_key,
         )
+        return self._with_answer_agreement(table, report)
 
-    def _stats_report(self, table: Table, reference, reference_key,
-                      cfds, master, master_key) -> QualityReport | None:
+    def _with_answer_agreement(self, table: Table, report: QualityReport) -> QualityReport:
+        """Graft the certain-vs-repaired agreement onto a recomputed report.
+
+        ``evaluate_quality`` scans rows and knows nothing about queries, so
+        the recomputation path would always drop the ``answer_agreement``
+        criterion observed by :meth:`query`. Its observations are keyed by
+        query text — independent of row-level stash syncing — so even a
+        stale stash entry carries them faithfully.
+        """
+        stash = quality_stats_stash(self._kb, create=False)
+        entry = stash.get(table.name) if stash is not None else None
+        if entry is None or entry.stats.answer_agreement is None:
+            return report
+        return replace(report, answer_agreement=entry.stats.answer_agreement.value())
+
+    def _stats_report(
+        self, table: Table, reference, reference_key, cfds, master, master_key
+    ) -> QualityReport | None:
         """The maintained-statistics report, or None when it cannot be trusted.
 
         Trust requires the stash to be exactly synced with the knowledge

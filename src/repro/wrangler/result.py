@@ -48,8 +48,7 @@ class WranglingResult:
         """Number of rows in the result (0 when there is none)."""
         return len(self.table) if self.table is not None else 0
 
-    def explain(self, row: int | str, column: str | None = None, *,
-                catalog=None) -> LineageTree:
+    def explain(self, row: int | str, column: str | None = None, *, catalog=None) -> LineageTree:
         """Why-provenance of one result cell (or tuple when ``column`` is None).
 
         Identical to :meth:`repro.wrangler.pipeline.Wrangler.explain` (both
@@ -62,9 +61,16 @@ class WranglingResult:
             warnings.warn(
                 "WranglingResult.explain(catalog=...) is deprecated; the result "
                 "carries its session catalog — call explain(row, column)",
-                DeprecationWarning, stacklevel=2)
-        return explain_result(self.table, self.provenance, row, column,
-                              catalog=catalog if catalog is not None else self.catalog)
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return explain_result(
+            self.table,
+            self.provenance,
+            row,
+            column,
+            catalog=catalog if catalog is not None else self.catalog,
+        )
 
     def explain_text(self, row: int | str, column: str | None = None) -> str:
         """Human-readable rendering of :meth:`explain`."""
